@@ -1,0 +1,71 @@
+// Command iqfig regenerates the figures of the paper's evaluation section.
+//
+// Usage:
+//
+//	iqfig -fig 8            # one figure
+//	iqfig -all              # every figure (2-4, 6-15) plus Table 1
+//	iqfig -all -n 500000    # longer runs for tighter numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distiq"
+)
+
+func main() {
+	var (
+		figN   = flag.Int("fig", 0, "figure number to regenerate (2-4, 6-15)")
+		all    = flag.Bool("all", false, "regenerate every figure")
+		n      = flag.Uint64("n", 100_000, "instructions measured per run")
+		bars   = flag.Bool("bars", false, "render figures as ASCII bar charts")
+		cycle  = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
+		csv    = flag.Bool("csv", false, "emit tables as CSV")
+		warmup = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+	)
+	flag.Parse()
+
+	if *cycle {
+		s := distiq.NewSession(distiq.Options{Warmup: *warmup, Instructions: *n})
+		tab, err := distiq.CycleTimeStudy(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqfig:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab)
+		return
+	}
+	if !*all && *figN == 0 {
+		fmt.Fprintln(os.Stderr, "iqfig: pass -fig N or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := distiq.NewSession(distiq.Options{Warmup: *warmup, Instructions: *n})
+	figures := []int{*figN}
+	if *all {
+		figures = distiq.FigureNumbers()
+		fmt.Print(distiq.Table1())
+		fmt.Println()
+	}
+	for _, fn := range figures {
+		start := time.Now()
+		tab, err := distiq.Figure(fn, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqfig:", err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			fmt.Print(tab.CSV())
+		case *bars:
+			fmt.Print(tab.Bars(48))
+		default:
+			fmt.Print(tab)
+		}
+		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

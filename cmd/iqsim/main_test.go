@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestResolveConfig(t *testing.T) {
+	cases := []struct {
+		name, intq, fpq string
+		chains          int
+		distr           bool
+		want            string
+		wantErr         bool
+	}{
+		{"IQ_64_64", "8x8", "8x16", 0, false, "IQ_64_64", false},
+		{"baseline", "8x8", "8x16", 0, false, "IQ_64_64", false},
+		{"unbounded", "8x8", "8x16", 0, false, "IQ_unbounded", false},
+		{"MB_distr", "8x8", "8x16", 0, false, "MB_distr", false},
+		{"IF_distr", "8x8", "8x16", 0, false, "IF_distr", false},
+		{"IssueFIFO", "10x8", "12x16", 0, false, "IssueFIFO_10x8_12x16", false},
+		{"LatFIFO", "8x8", "8x16", 0, false, "LatFIFO_8x8_8x16", false},
+		{"MixBUFF", "8x8", "8x16", 8, true, "MixBUFF_8x8_8x16_distr", false},
+		{"nonesuch", "8x8", "8x16", 0, false, "", true},
+		{"MixBUFF", "8by8", "8x16", 0, false, "", true},
+		{"MixBUFF", "8x8", "bad", 0, false, "", true},
+	}
+	for _, c := range cases {
+		cfg, err := resolveConfig(c.name, c.intq, c.fpq, c.chains, c.distr)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%q: expected error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.name, err)
+			continue
+		}
+		if cfg.Name != c.want {
+			t.Errorf("%q: name %q, want %q", c.name, cfg.Name, c.want)
+		}
+		if cfg.DistributedFU != (c.distr || c.name == "MB_distr" || c.name == "IF_distr") {
+			t.Errorf("%q: DistributedFU wrong", c.name)
+		}
+	}
+}

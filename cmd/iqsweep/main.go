@@ -1,0 +1,115 @@
+// Command iqsweep runs a grid sweep of one issue-queue organization over
+// queues × entries (× chains for MixBUFF) and emits per-benchmark IPC and
+// issue-logic energy in CSV, for plotting or regression tracking beyond
+// the paper's fixed figure configurations.
+//
+// Usage:
+//
+//	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
+//	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"distiq"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "MixBUFF", "IssueFIFO, LatFIFO or MixBUFF (FP side; int side fixed per -intq)")
+		queues  = flag.String("queues", "8,12", "comma-separated FP queue counts")
+		entries = flag.String("entries", "8,16", "comma-separated FP entries per queue")
+		chains  = flag.String("chains", "0", "comma-separated chains per queue (MixBUFF; 0 = unbounded)")
+		intq    = flag.String("intq", "16x16", "fixed integer queues AxB")
+		suite   = flag.String("suite", "", "restrict to a suite: int or fp")
+		benchCS = flag.String("bench", "", "comma-separated benchmarks (default: suite or all)")
+		distr   = flag.Bool("distr", false, "distribute functional units")
+		n       = flag.Uint64("n", 60_000, "instructions per run")
+		warmup  = flag.Uint64("warmup", 10_000, "warmup instructions")
+	)
+	flag.Parse()
+
+	var a, b int
+	if _, err := fmt.Sscanf(*intq, "%dx%d", &a, &b); err != nil {
+		fatal("bad -intq %q: %v", *intq, err)
+	}
+	benchmarks := pickBenchmarks(*suite, *benchCS)
+	opt := distiq.Options{Warmup: *warmup, Instructions: *n}
+
+	fmt.Println("scheme,queues,entries,chains,benchmark,ipc,iq_energy_pj,cycles")
+	for _, q := range ints(*queues) {
+		for _, e := range ints(*entries) {
+			for _, ch := range ints(*chains) {
+				cfg, err := makeConfig(*scheme, a, b, q, e, ch, *distr)
+				if err != nil {
+					fatal("%v", err)
+				}
+				for _, bench := range benchmarks {
+					res, err := distiq.Run(bench, cfg, opt)
+					if err != nil {
+						fatal("%s under %s: %v", bench, cfg.Name, err)
+					}
+					fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.1f,%d\n",
+						*scheme, q, e, ch, bench, res.IPC(), res.IQEnergy, res.Cycles)
+				}
+				if *scheme != "MixBUFF" {
+					break // chains only vary for MixBUFF
+				}
+			}
+		}
+	}
+}
+
+func makeConfig(scheme string, a, b, q, e, chains int, distr bool) (distiq.Config, error) {
+	var cfg distiq.Config
+	switch scheme {
+	case "IssueFIFO":
+		cfg = distiq.IssueFIFOCfg(a, b, q, e)
+	case "LatFIFO":
+		cfg = distiq.LatFIFOCfg(a, b, q, e)
+	case "MixBUFF":
+		cfg = distiq.MixBUFFCfg(a, b, q, e, chains)
+	default:
+		return cfg, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	cfg.DistributedFU = distr
+	return cfg, cfg.Validate()
+}
+
+func pickBenchmarks(suite, list string) []string {
+	if list != "" {
+		return strings.Split(list, ",")
+	}
+	switch strings.ToLower(suite) {
+	case "int":
+		return distiq.Benchmarks(distiq.SuiteInt)
+	case "fp":
+		return distiq.Benchmarks(distiq.SuiteFP)
+	case "":
+		return distiq.AllBenchmarks()
+	}
+	fatal("unknown suite %q (int or fp)", suite)
+	return nil
+}
+
+func ints(csv string) []int {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal("bad integer list %q: %v", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "iqsweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"distiq"
+)
+
+func TestInts(t *testing.T) {
+	got := ints("8, 12,16")
+	if !reflect.DeepEqual(got, []int{8, 12, 16}) {
+		t.Fatalf("ints = %v", got)
+	}
+}
+
+func TestPickBenchmarks(t *testing.T) {
+	if got := pickBenchmarks("", "swim,gzip"); !reflect.DeepEqual(got, []string{"swim", "gzip"}) {
+		t.Fatalf("explicit list = %v", got)
+	}
+	if got := pickBenchmarks("fp", ""); len(got) != 14 {
+		t.Fatalf("fp suite = %d entries", len(got))
+	}
+	if got := pickBenchmarks("int", ""); len(got) != 12 {
+		t.Fatalf("int suite = %d entries", len(got))
+	}
+	if got := pickBenchmarks("", ""); len(got) != 26 {
+		t.Fatalf("all = %d entries", len(got))
+	}
+}
+
+func TestMakeConfig(t *testing.T) {
+	cfg, err := makeConfig("MixBUFF", 8, 8, 10, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FP.Queues != 10 || cfg.FP.Entries != 16 || cfg.FP.Chains != 4 || !cfg.DistributedFU {
+		t.Fatalf("config wrong: %+v", cfg)
+	}
+	if _, err := makeConfig("nope", 8, 8, 8, 8, 0, false); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	_ = distiq.SuiteFP
+}

@@ -1,0 +1,129 @@
+// Command iqtrace inspects the synthetic workload models: instruction mix,
+// branch behaviour and dependence-graph width. It documents why the
+// integer and FP suites exercise the issue-queue organizations so
+// differently.
+//
+// Usage:
+//
+//	iqtrace                          # summary of all 26 benchmarks
+//	iqtrace -bench swim              # detailed report for one benchmark
+//	iqtrace -bench swim -dump t.diqt # capture a binary trace file
+//	iqtrace -replay t.diqt           # summarize a captured trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distiq"
+	"distiq/internal/isa"
+	"distiq/internal/trace"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "benchmark to inspect in detail (default: summarize all)")
+		n      = flag.Int("n", 100_000, "instructions to sample")
+		dump   = flag.String("dump", "", "capture the benchmark to a binary trace file")
+		replay = flag.String("replay", "", "summarize a previously captured trace file")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		if err := summarizeFile(*replay, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dump != "" {
+		if *bench == "" {
+			fmt.Fprintln(os.Stderr, "iqtrace: -dump requires -bench")
+			os.Exit(1)
+		}
+		model, err := trace.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.Capture(f, model, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured %d instructions of %s to %s\n", *n, *bench, *dump)
+		return
+	}
+
+	if *bench != "" {
+		model, err := trace.ByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqtrace:", err)
+			os.Exit(1)
+		}
+		g := trace.NewGenerator(model)
+		st := trace.CollectStats(g, *n)
+		fmt.Printf("%s (%s, %d static instructions)\n", model.Name, model.Suite, g.StaticSize())
+		fmt.Print(st)
+		return
+	}
+
+	fmt.Printf("%-10s %-8s %7s %7s %7s %7s %9s\n",
+		"benchmark", "suite", "branch%", "mem%", "fp%", "taken%", "fp-width")
+	for _, name := range distiq.AllBenchmarks() {
+		model := trace.MustByName(name)
+		g := trace.NewGenerator(model)
+		st := trace.CollectStats(g, *n)
+		memFrac := float64(st.ByClass[isa.Load]+st.ByClass[isa.Store]) / float64(st.Total)
+		fmt.Printf("%-10s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %9.1f\n",
+			name, model.Suite,
+			100*st.BranchFrac(), 100*memFrac, 100*st.FPFrac(),
+			100*st.TakenRate(), st.WindowChainWidth)
+	}
+}
+
+// summarizeFile prints the class mix of a captured trace file.
+func summarizeFile(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace of %s\n", r.Benchmark())
+	var counts [isa.NumClasses]uint64
+	var in isa.Inst
+	for i := 0; i < n; i++ {
+		if err := r.ReadInst(&in); err != nil {
+			return err
+		}
+		counts[in.Class]++
+		if r.Wraps > 0 {
+			break // one full pass is enough for a summary
+		}
+	}
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s %6.2f%%\n", c, 100*float64(counts[c])/float64(total))
+	}
+	fmt.Printf("  records: %d\n", total)
+	return nil
+}

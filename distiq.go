@@ -1,0 +1,162 @@
+// Package distiq is a cycle-level reproduction of "Low-Complexity
+// Distributed Issue Queue" (Jaume Abella and Antonio González, HPCA 2004).
+//
+// The library provides:
+//
+//   - the four issue-queue organizations the paper studies — the
+//     conventional CAM/RAM baseline, dependence-based FIFOs (IssueFIFO),
+//     latency-placed FIFOs (LatFIFO) and the paper's MixBUFF buffers of
+//     dependence chains — plus the distributed-functional-unit variants
+//     IF_distr and MB_distr;
+//   - an 8-wide out-of-order superscalar timing model configured per the
+//     paper's Table 1 (hybrid branch predictor, three-level memory system,
+//     256-entry reorder buffer, 160+160 physical registers);
+//   - 26 synthetic workload models standing in for SPEC2000;
+//   - an analytic issue-logic energy model (Wattch/CACTI methodology) and
+//     the paper's power-efficiency metrics (normalized power, energy,
+//     energy-delay, energy-delay²);
+//   - experiment harnesses regenerating every figure of the evaluation.
+//
+// Quick start:
+//
+//	res, err := distiq.Run("swim", distiq.MBDistr(), distiq.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f, issue-logic energy %.0f pJ\n", res.IPC(), res.IQEnergy)
+//
+// To regenerate a figure from the paper:
+//
+//	s := distiq.NewSession(distiq.DefaultOptions())
+//	table, err := distiq.Figure(8, s)
+//	fmt.Print(table)
+package distiq
+
+import (
+	"distiq/internal/core"
+	"distiq/internal/isa"
+	"distiq/internal/pipeline"
+	"distiq/internal/sim"
+	"distiq/internal/trace"
+)
+
+// Core configuration types.
+type (
+	// Config names a complete issue-logic configuration (both domains
+	// plus functional-unit wiring).
+	Config = core.Config
+	// DomainConfig configures one domain's issue scheme.
+	DomainConfig = core.DomainConfig
+	// Kind selects an issue-queue organization.
+	Kind = core.Kind
+	// Scheme is the issue-queue interface; implement it (and pass it
+	// through DomainConfig.Custom) to evaluate new organizations.
+	Scheme = core.Scheme
+	// Env is the pipeline interface available to schemes.
+	Env = core.Env
+	// SchemeOptions carries cross-cutting scheme construction inputs.
+	SchemeOptions = core.Options
+)
+
+// Issue-queue organization kinds.
+const (
+	KindCAM       = core.KindCAM
+	KindIssueFIFO = core.KindIssueFIFO
+	KindLatFIFO   = core.KindLatFIFO
+	KindMixBUFF   = core.KindMixBUFF
+)
+
+// Named configurations from the paper.
+var (
+	// Unbounded is the section 3 reference: issue queues as large as
+	// the reorder buffer.
+	Unbounded = core.Unbounded
+	// Baseline64 is IQ_64_64, the evaluation baseline.
+	Baseline64 = core.Baseline64
+	// IssueFIFOCfg returns IssueFIFO_AxB_CxD.
+	IssueFIFOCfg = core.IssueFIFOCfg
+	// LatFIFOCfg returns LatFIFO_AxB_CxD.
+	LatFIFOCfg = core.LatFIFOCfg
+	// MixBUFFCfg returns MixBUFF_AxB_CxD with a chain bound per queue.
+	MixBUFFCfg = core.MixBUFFCfg
+	// IFDistr is IssueFIFO_8x8_8x16 with distributed functional units.
+	IFDistr = core.IFDistr
+	// MBDistr is the paper's proposal: MixBUFF_8x8_8x16, 8 chains per
+	// queue, distributed functional units.
+	MBDistr = core.MBDistr
+)
+
+// Simulation types.
+type (
+	// Options controls warmup and measured instruction counts.
+	Options = sim.Options
+	// Result is one benchmark × configuration outcome.
+	Result = sim.Result
+	// Session memoizes runs across figures.
+	Session = sim.Session
+	// Table is a rendered experiment result.
+	Table = sim.Table
+	// ProcessorConfig is the full Table 1 machine description.
+	ProcessorConfig = pipeline.Config
+	// Suite identifies SPECINT or SPECFP stand-ins.
+	Suite = trace.Suite
+	// Workload describes one synthetic benchmark model.
+	Workload = trace.Model
+)
+
+// Benchmark suites.
+const (
+	SuiteInt = trace.SuiteInt
+	SuiteFP  = trace.SuiteFP
+)
+
+// Simulation entry points.
+var (
+	// DefaultOptions is suitable for regenerating all figures.
+	DefaultOptions = sim.DefaultOptions
+	// QuickOptions is for smoke tests.
+	QuickOptions = sim.QuickOptions
+	// Run simulates one benchmark under one configuration.
+	Run = sim.Run
+	// NewSession returns a memoizing experiment session.
+	NewSession = sim.NewSession
+	// Figure regenerates a figure of the paper (2-4, 6-15).
+	Figure = sim.Figure
+	// FigureNumbers lists the reproducible figures.
+	FigureNumbers = sim.FigureNumbers
+	// Table1 renders the processor configuration.
+	Table1 = sim.Table1
+
+	// Benchmarks lists a suite's workload names in figure order;
+	// AllBenchmarks lists every workload.
+	Benchmarks    = trace.Benchmarks
+	AllBenchmarks = trace.AllBenchmarks
+	// WorkloadByName returns the model behind a benchmark name.
+	WorkloadByName = trace.ByName
+
+	// DefaultProcessor returns the Table 1 machine around an issue
+	// configuration; NewPipeline builds a simulator from it for callers
+	// that need cycle-level control (see examples/customscheme).
+	DefaultProcessor = pipeline.DefaultConfig
+	NewPipeline      = pipeline.New
+)
+
+// Domains of the split issue logic.
+const (
+	IntDomain = isa.IntDomain
+	FPDomain  = isa.FPDomain
+)
+
+// AdaptiveBaseline64 is IQ_64_64 with Folegnani-González dynamic resizing
+// (an extension beyond the paper's evaluated configurations).
+var AdaptiveBaseline64 = core.AdaptiveBaseline64
+
+// PreSchedCfg is the Michaud-Seznec two-level data-flow prescheduling
+// organization (the paper's reference [18]), provided as an extension
+// comparator: a D-entry wakeup-free preschedule buffer promoting into a
+// small first-level CAM queue.
+var PreSchedCfg = core.PreSchedCfg
+
+// CycleTimeStudy runs the cycle-time what-if extension: the paper's
+// closing argument that simplified issue logic could shorten the clock,
+// quantified as ED² versus hypothetical clock advantage plus the
+// break-even point per scheme and suite.
+var CycleTimeStudy = sim.CycleTimeStudy

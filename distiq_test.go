@@ -1,0 +1,62 @@
+package distiq_test
+
+import (
+	"strings"
+	"testing"
+
+	"distiq"
+)
+
+func TestPublicRun(t *testing.T) {
+	res, err := distiq.Run("gzip", distiq.MBDistr(), distiq.QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("no progress through public API")
+	}
+	if res.Config != "MB_distr" {
+		t.Fatalf("config = %s", res.Config)
+	}
+}
+
+func TestPublicBenchmarkLists(t *testing.T) {
+	if len(distiq.AllBenchmarks()) != 26 {
+		t.Fatal("benchmark list wrong")
+	}
+	if len(distiq.Benchmarks(distiq.SuiteFP)) != 14 {
+		t.Fatal("FP suite wrong")
+	}
+	if _, err := distiq.WorkloadByName("swim"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFigure(t *testing.T) {
+	s := distiq.NewSession(distiq.Options{Warmup: 1000, Instructions: 5000})
+	tab, err := distiq.Figure(12, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "MB_distr") {
+		t.Fatal("figure table missing MB_distr")
+	}
+}
+
+func TestPublicNamedConfigs(t *testing.T) {
+	for _, cfg := range []distiq.Config{
+		distiq.Unbounded(), distiq.Baseline64(),
+		distiq.IssueFIFOCfg(8, 8, 8, 16), distiq.LatFIFOCfg(8, 8, 8, 16),
+		distiq.MixBUFFCfg(8, 8, 8, 16, 8), distiq.IFDistr(), distiq.MBDistr(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPublicTable1(t *testing.T) {
+	if !strings.Contains(distiq.Table1(), "Reorder buffer") {
+		t.Fatal("Table 1 incomplete")
+	}
+}

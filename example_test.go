@@ -1,0 +1,61 @@
+package distiq_test
+
+import (
+	"fmt"
+	"log"
+
+	"distiq"
+)
+
+// Simulate one benchmark under the paper's proposed configuration and
+// inspect performance and issue-logic energy.
+func ExampleRun() {
+	res, err := distiq.Run("swim", distiq.MBDistr(), distiq.QuickOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s under %s: IPC and energy are deterministic across runs\n",
+		res.Benchmark, res.Config)
+	// Output:
+	// swim under MB_distr: IPC and energy are deterministic across runs
+}
+
+// Regenerate a figure from the paper's evaluation. Sessions memoize runs,
+// so generating several figures shares their common baselines.
+func ExampleFigure() {
+	s := distiq.NewSession(distiq.Options{Warmup: 1_000, Instructions: 5_000})
+	tab, err := distiq.Figure(12, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab.Title)
+	fmt.Println(tab.Rows[0].Label) // the baseline row
+	// Output:
+	// Figure 12: normalized issue-queue power
+	// IQ_64_64
+}
+
+// Compare two configurations on one benchmark — the shape of every
+// experiment in the paper.
+func ExampleConfig() {
+	opt := distiq.QuickOptions()
+	base, err := distiq.Run("lucas", distiq.Baseline64(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prop, err := distiq.Run("lucas", distiq.MBDistr(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MB_distr uses less issue-queue energy: %v\n", prop.IQEnergy < base.IQEnergy)
+	// Output:
+	// MB_distr uses less issue-queue energy: true
+}
+
+// Sweep a custom configuration space using the named constructors.
+func ExampleMixBUFFCfg() {
+	cfg := distiq.MixBUFFCfg(8, 8, 10, 16, 4)
+	fmt.Println(cfg.Name, cfg.FP.Chains)
+	// Output:
+	// MixBUFF_8x8_10x16 4
+}

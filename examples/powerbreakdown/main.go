@@ -1,0 +1,37 @@
+// powerbreakdown reproduces the energy story of the paper's section 4:
+// where the issue-logic energy goes for each organization (Figures 9-11)
+// and the resulting power-efficiency metrics (Figures 12-15).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distiq"
+)
+
+func main() {
+	s := distiq.NewSession(distiq.Options{Warmup: 10_000, Instructions: 60_000})
+
+	for _, fn := range []int{9, 10, 11} {
+		tab, err := distiq.Figure(fn, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tab)
+		fmt.Println()
+	}
+
+	fmt.Println("Power-efficiency, normalized to IQ_64_64:")
+	for _, fn := range []int{12, 13, 14, 15} {
+		tab, err := distiq.Figure(fn, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tab)
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper): wakeup dominates the baseline; the")
+	fmt.Println("distributed schemes spend a fraction of its power and energy;")
+	fmt.Println("MB_distr wins energy-delay for FP and matches the baseline's ED².")
+}

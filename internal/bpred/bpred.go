@@ -1,0 +1,193 @@
+// Package bpred implements the branch prediction hardware of the Table 1
+// configuration: a hybrid predictor combining a 2K-entry gshare and a
+// 2K-entry bimodal predictor through a 1K-entry selector, plus a 2048-entry
+// 4-way set-associative branch target buffer.
+//
+// The simulator is trace-driven: the predictor is consulted at fetch with
+// the branch PC and then trained with the architectural outcome carried by
+// the trace. A misprediction stalls fetch until the branch resolves.
+package bpred
+
+// counter2 is a 2-bit saturating counter. Values 0-1 predict not taken,
+// 2-3 predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Predictor is the interface implemented by all direction predictors.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the architectural outcome.
+	Update(pc uint64, taken bool)
+}
+
+// Bimodal is a table of 2-bit counters indexed by low PC bits.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with the given number of entries,
+// which must be a power of two. Counters initialize to weakly taken (2),
+// the SimpleScalar convention.
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Gshare XORs a global history register with the PC to index a table of
+// 2-bit counters.
+type Gshare struct {
+	table   []counter2
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGshare returns a gshare predictor with the given number of entries
+// (a power of two); the history length is log2(entries).
+func NewGshare(entries int) *Gshare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	bits := uint(0)
+	for 1<<bits < entries {
+		bits++
+	}
+	return &Gshare{table: t, mask: uint64(entries - 1), histLen: bits}
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements Predictor. It updates the indexed counter with the
+// pre-update history (as the hardware would, since prediction and update
+// use the same index) and then shifts the outcome into the history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// Hybrid combines two component predictors through a selector table of
+// 2-bit counters: high counter values choose the first component (gshare),
+// low values the second (bimodal), as in the Alpha 21264 chooser.
+type Hybrid struct {
+	gshare   *Gshare
+	bimodal  *Bimodal
+	selector []counter2
+	mask     uint64
+
+	// Mispredicts and Lookups count predictor performance for reports.
+	Mispredicts, Lookups uint64
+}
+
+// NewHybrid returns the Table 1 predictor: gshareEntries-entry gshare,
+// bimodalEntries-entry bimodal and selectorEntries-entry chooser.
+func NewHybrid(gshareEntries, bimodalEntries, selectorEntries int) *Hybrid {
+	if selectorEntries <= 0 || selectorEntries&(selectorEntries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	sel := make([]counter2, selectorEntries)
+	for i := range sel {
+		sel[i] = 2
+	}
+	return &Hybrid{
+		gshare:   NewGshare(gshareEntries),
+		bimodal:  NewBimodal(bimodalEntries),
+		selector: sel,
+		mask:     uint64(selectorEntries - 1),
+	}
+}
+
+// NewDefaultHybrid returns the paper's 2K gshare + 2K bimodal + 1K selector.
+func NewDefaultHybrid() *Hybrid { return NewHybrid(2048, 2048, 1024) }
+
+func (h *Hybrid) selIndex(pc uint64) uint64 { return (pc >> 2) & h.mask }
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(pc uint64) bool {
+	if h.selector[h.selIndex(pc)].taken() {
+		return h.gshare.Predict(pc)
+	}
+	return h.bimodal.Predict(pc)
+}
+
+// Update trains both components and steers the selector toward whichever
+// component was correct (no change when both agree).
+func (h *Hybrid) Update(pc uint64, taken bool) {
+	g := h.gshare.Predict(pc)
+	b := h.bimodal.Predict(pc)
+	i := h.selIndex(pc)
+	if g != b {
+		h.selector[i] = h.selector[i].update(g == taken)
+	}
+	h.gshare.Update(pc, taken)
+	h.bimodal.Update(pc, taken)
+}
+
+// PredictAndTrain performs a combined lookup and update, returning whether
+// the prediction matched the outcome, and maintains accuracy counters.
+// This is the entry point used by the fetch stage.
+func (h *Hybrid) PredictAndTrain(pc uint64, taken bool) (correct bool) {
+	pred := h.Predict(pc)
+	h.Update(pc, taken)
+	h.Lookups++
+	if pred != taken {
+		h.Mispredicts++
+		return false
+	}
+	return true
+}
+
+// Accuracy returns the fraction of correct predictions so far (1.0 when no
+// lookups have happened).
+func (h *Hybrid) Accuracy() float64 {
+	if h.Lookups == 0 {
+		return 1.0
+	}
+	return 1.0 - float64(h.Mispredicts)/float64(h.Lookups)
+}

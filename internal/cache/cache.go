@@ -1,0 +1,153 @@
+// Package cache implements the memory hierarchy of the Table 1
+// configuration: a 64KB 2-way L1 instruction cache (32-byte lines, 1
+// cycle), a 32KB 4-way L1 data cache (32-byte lines, 2 cycles, 4 R/W
+// ports), a unified 512KB 4-way L2 (64-byte lines, 10 cycles) and a main
+// memory delivering the first chunk in 100 cycles and subsequent 8-byte
+// chunks every 2 cycles over a 64-byte-wide bus.
+//
+// Caches are set-associative with true-LRU replacement and are
+// write-allocate. Timing is returned as a whole-access latency; the
+// simulator does not model bandwidth contention below the L1 data-cache
+// port limit, matching the abstraction level of the paper's SimpleScalar
+// baseline.
+package cache
+
+import "fmt"
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	name     string
+	sets     int
+	assoc    int
+	lineBits uint
+	latency  int
+
+	tags  []uint64 // sets*assoc; 0 = invalid (tag stored with +1 bias)
+	lru   []uint8
+	dirty []bool
+
+	// Accesses, Misses and Writebacks are statistics counters.
+	Accesses, Misses, Writebacks uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	SizeKB   int // total capacity in KiB
+	Assoc    int
+	LineSize int // bytes, power of two
+	Latency  int // cycles for a hit
+}
+
+// New builds a cache from its configuration. It panics on a geometry that
+// cannot be realized (non-power-of-two sets or line size).
+func New(cfg Config) *Cache {
+	if cfg.SizeKB <= 0 || cfg.Assoc <= 0 || cfg.LineSize <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	lines := cfg.SizeKB * 1024 / cfg.LineSize
+	if lines%cfg.Assoc != 0 {
+		panic("cache: lines not divisible by associativity")
+	}
+	sets := lines / cfg.Assoc
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, sets))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineSize {
+		lineBits++
+	}
+	c := &Cache{
+		name:     cfg.Name,
+		sets:     sets,
+		assoc:    cfg.Assoc,
+		lineBits: lineBits,
+		latency:  cfg.Latency,
+		tags:     make([]uint64, lines),
+		lru:      make([]uint8, lines),
+		dirty:    make([]bool, lines),
+	}
+	for i := range c.lru {
+		c.lru[i] = uint8(i % cfg.Assoc)
+	}
+	return c
+}
+
+// Name returns the configured name of the cache.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() int { return c.latency }
+
+func (c *Cache) set(addr uint64) int {
+	return int((addr >> c.lineBits) & uint64(c.sets-1))
+}
+
+func (c *Cache) tag(addr uint64) uint64 {
+	return (addr >> c.lineBits) + 1 // +1 so 0 means invalid
+}
+
+// Lookup probes the cache without modifying anything. It reports whether
+// the line holding addr is present.
+func (c *Cache) Lookup(addr uint64) bool {
+	base := c.set(addr) * c.assoc
+	t := c.tag(addr)
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a read or write of addr, updating LRU state and
+// allocating the line on a miss. It returns whether the access hit and,
+// on a miss, whether a dirty line was evicted (requiring a writeback).
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	c.Accesses++
+	base := c.set(addr) * c.assoc
+	t := c.tag(addr)
+	victim := 0
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == t {
+			c.touch(base, w)
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true, false
+		}
+		if c.lru[base+w] > c.lru[base+victim] {
+			victim = w
+		}
+	}
+	c.Misses++
+	writeback = c.dirty[base+victim] && c.tags[base+victim] != 0
+	if writeback {
+		c.Writebacks++
+	}
+	c.tags[base+victim] = t
+	c.dirty[base+victim] = write
+	c.touch(base, victim)
+	return false, writeback
+}
+
+func (c *Cache) touch(base, w int) {
+	old := c.lru[base+w]
+	for i := 0; i < c.assoc; i++ {
+		if c.lru[base+i] < old {
+			c.lru[base+i]++
+		}
+	}
+	c.lru[base+w] = 0
+}
+
+// MissRate returns Misses/Accesses (0 when never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"distiq/internal/isa"
+	"distiq/internal/power"
+)
+
+// camQueue is the conventional out-of-order issue queue: a CAM array holds
+// operand tags that are matched against every result broadcast (wakeup),
+// and a selection tree picks the oldest ready instructions each cycle. Per
+// the paper's baseline, the queue is multi-banked and spends wakeup energy
+// only on unready operands (the Folegnani-González optimization), and the
+// selection logic consumes nothing when the queue is empty.
+type camQueue struct {
+	opt     Options
+	cfg     DomainConfig
+	entries []*isa.Inst
+	ev      power.Events
+}
+
+func newCAM(cfg DomainConfig, opt Options) *camQueue {
+	return &camQueue{
+		opt:     opt,
+		cfg:     cfg,
+		entries: make([]*isa.Inst, 0, cfg.Total()),
+	}
+}
+
+func (q *camQueue) Name() string          { return "CAM" }
+func (q *camQueue) Occupancy() int        { return len(q.entries) }
+func (q *camQueue) Capacity() int         { return q.cfg.Total() }
+func (q *camQueue) Events() *power.Events { return &q.ev }
+
+func (q *camQueue) Geometry() power.Geometry {
+	banks := 1
+	if q.cfg.Total() >= 64 {
+		banks = 8 // the paper's 8 banks x 8 entries
+	}
+	return power.Geometry{
+		Style:       power.StyleCAM,
+		Queues:      1,
+		Entries:     q.cfg.Total(),
+		TagBits:     8, // log2(160) rounded up
+		PayloadBits: 80,
+		Banks:       banks,
+		FUFanout:    q.opt.fanout(),
+	}
+}
+
+func (q *camQueue) Dispatch(env Env, in *isa.Inst) bool {
+	if len(q.entries) >= cap(q.entries) {
+		return false
+	}
+	in.QueueID = 0
+	q.entries = append(q.entries, in)
+	q.ev.IQWrites++
+	return true
+}
+
+// Issue selects up to budget ready instructions, oldest first. Entries are
+// kept in dispatch order, so a single in-order scan implements the
+// oldest-first position-based selection policy of the baseline.
+func (q *camQueue) Issue(env Env, budget int) int {
+	if len(q.entries) == 0 {
+		return 0 // empty queue: selection logic gated off
+	}
+	q.ev.SelectOps++
+	q.ev.SelectEntries += uint64(len(q.entries))
+
+	issued := 0
+	kept := q.entries[:0]
+	for i, in := range q.entries {
+		if issued >= budget {
+			kept = append(kept, q.entries[i:]...)
+			break
+		}
+		if !OperandsReady(env, in) || !env.TryIssue(in) {
+			kept = append(kept, in)
+			continue
+		}
+		q.ev.IQReads++
+		issued++
+	}
+	// Clear the tail so removed instructions are not retained.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	return issued
+}
+
+// OnComplete models a result-tag broadcast: the tag lines are driven and
+// every currently-unready operand of the matching register file compares.
+func (q *camQueue) OnComplete(env Env, destFP bool) {
+	if len(q.entries) == 0 {
+		return
+	}
+	q.ev.WakeupBroadcasts++
+	for _, in := range q.entries {
+		if in.PSrc1 != isa.NoReg && in.Src1FP == destFP && !env.OperandReady(in.Src1FP, in.PSrc1) {
+			q.ev.WakeupCAMCells++
+		}
+		if in.PSrc2 != isa.NoReg && in.Src2FP == destFP && !env.OperandReady(in.Src2FP, in.PSrc2) {
+			q.ev.WakeupCAMCells++
+		}
+	}
+}
+
+func (q *camQueue) OnMispredictResolved() {}
+
+// ageSorted is a helper shared by the multi-queue schemes: it sorts
+// candidate instructions oldest first under the modular age encoding.
+func ageSorted(env Env, ins []*isa.Inst) {
+	sort.Slice(ins, func(i, j int) bool {
+		return env.Older(ins[i].AgeID, ins[j].AgeID)
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// Config names a complete issue-logic configuration: one scheme per
+// domain plus the functional-unit wiring. Names follow the paper's
+// convention Scheme_AxB_CxD (A integer queues of B entries, C FP queues of
+// D entries).
+type Config struct {
+	Name          string
+	Int, FP       DomainConfig
+	DistributedFU bool
+}
+
+// Validate checks both domains.
+func (c Config) Validate() error {
+	if err := c.Int.Validate(); err != nil {
+		return fmt.Errorf("%s int: %w", c.Name, err)
+	}
+	if err := c.FP.Validate(); err != nil {
+		return fmt.Errorf("%s fp: %w", c.Name, err)
+	}
+	return nil
+}
+
+// Unbounded returns the section 3 reference: conventional issue queues as
+// large as the reorder buffer, so dispatch never stalls for queue space.
+func Unbounded() Config {
+	return Config{
+		Name: "IQ_unbounded",
+		Int:  DomainConfig{Kind: KindCAM, Queues: 1, Entries: 256},
+		FP:   DomainConfig{Kind: KindCAM, Queues: 1, Entries: 256},
+	}
+}
+
+// Baseline64 returns IQ_64_64, the evaluation baseline: 64-entry integer
+// and FP CAM queues, multi-banked, waking only unready operands.
+func Baseline64() Config {
+	return Config{
+		Name: "IQ_64_64",
+		Int:  DomainConfig{Kind: KindCAM, Queues: 1, Entries: 64},
+		FP:   DomainConfig{Kind: KindCAM, Queues: 1, Entries: 64},
+	}
+}
+
+// IssueFIFOCfg returns IssueFIFO_AxB_CxD.
+func IssueFIFOCfg(a, b, c, d int) Config {
+	return Config{
+		Name: fmt.Sprintf("IssueFIFO_%dx%d_%dx%d", a, b, c, d),
+		Int:  DomainConfig{Kind: KindIssueFIFO, Queues: a, Entries: b},
+		FP:   DomainConfig{Kind: KindIssueFIFO, Queues: c, Entries: d},
+	}
+}
+
+// LatFIFOCfg returns LatFIFO_AxB_CxD: integer queues remain IssueFIFO,
+// FP queues are placed by estimated issue time.
+func LatFIFOCfg(a, b, c, d int) Config {
+	return Config{
+		Name: fmt.Sprintf("LatFIFO_%dx%d_%dx%d", a, b, c, d),
+		Int:  DomainConfig{Kind: KindIssueFIFO, Queues: a, Entries: b},
+		FP:   DomainConfig{Kind: KindLatFIFO, Queues: c, Entries: d},
+	}
+}
+
+// MixBUFFCfg returns MixBUFF_AxB_CxD with the given chains per FP queue
+// (0 = unbounded, as in the section 3 sweep).
+func MixBUFFCfg(a, b, c, d, chains int) Config {
+	return Config{
+		Name: fmt.Sprintf("MixBUFF_%dx%d_%dx%d", a, b, c, d),
+		Int:  DomainConfig{Kind: KindIssueFIFO, Queues: a, Entries: b},
+		FP:   DomainConfig{Kind: KindMixBUFF, Queues: c, Entries: d, Chains: chains},
+	}
+}
+
+// IFDistr returns IF_distr: IssueFIFO_8x8_8x16 with distributed
+// functional units.
+func IFDistr() Config {
+	c := IssueFIFOCfg(8, 8, 8, 16)
+	c.Name = "IF_distr"
+	c.DistributedFU = true
+	return c
+}
+
+// MBDistr returns MB_distr: MixBUFF_8x8_8x16, 8 chains per FP queue,
+// distributed functional units — the paper's proposed configuration.
+func MBDistr() Config {
+	c := MixBUFFCfg(8, 8, 8, 16, 8)
+	c.Name = "MB_distr"
+	c.DistributedFU = true
+	return c
+}
+
+// AdaptiveBaseline64 returns IQ_64_64 with Folegnani-González dynamic
+// resizing on both queues — an extension configuration for quantifying how
+// much baseline energy adaptivity recovers without a distributed design.
+func AdaptiveBaseline64() Config {
+	return Config{
+		Name: "IQ_64_64_adaptive",
+		Int:  DomainConfig{Kind: KindAdaptiveCAM, Queues: 1, Entries: 64},
+		FP:   DomainConfig{Kind: KindAdaptiveCAM, Queues: 1, Entries: 64},
+	}
+}
+
+// PreSchedCfg returns PreSched_AxB_D+L1: IssueFIFO integer queues (A x B)
+// and the Michaud-Seznec two-level FP organization — a D-entry wakeup-free
+// preschedule buffer promoting into an l1-entry conventional CAM queue
+// (l1 <= 0 selects the default of 16). The DomainConfig.Chains field
+// carries the first-level size for this kind.
+func PreSchedCfg(a, b, d, l1 int) Config {
+	if l1 <= 0 {
+		l1 = 16
+	}
+	return Config{
+		Name: fmt.Sprintf("PreSched_%dx%d_%d+%d", a, b, d, l1),
+		Int:  DomainConfig{Kind: KindIssueFIFO, Queues: a, Entries: b},
+		FP:   DomainConfig{Kind: KindPreSched, Queues: 1, Entries: d, Chains: l1},
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import "distiq/internal/isa"
+
+// Estimator computes, at dispatch time, the cycle each instruction is
+// expected to issue — the paper's LatFIFO placement input:
+//
+//	IssueCycle = MAX(current_cycle + 1, OpLeftCycle, OpRightCycle)
+//	if load:  IssueCycle = MAX(IssueCycle, AllStoreAddr)
+//	if store: AllStoreAddr = MAX(AllStoreAddr, IssueCycle + AddressLatency)
+//	if dest:  DestCycle = IssueCycle + InstructionLatency
+//
+// where operand availability cycles come from the producers' estimated
+// DestCycle, loads assume the L1 hit latency, and AllStoreAddr tracks when
+// the addresses of all prior stores will be known. The estimate is indexed
+// by physical register, which the hardware's logical-register table plus
+// rename equals exactly.
+//
+// One estimator instance is shared by the whole dispatch stage (it must
+// see every instruction, including integer-side loads that feed FP
+// chains). The paper assumes the computation fits in one cycle and notes
+// this may be optimistic; we reproduce that assumption.
+type Estimator struct {
+	lat       isa.Latencies
+	memHit    int
+	destCycle [2][]int64 // per domain, per physical register
+	allStore  int64
+}
+
+// NewEstimator returns an estimator for the given latencies and L1D hit
+// latency.
+func NewEstimator(lat isa.Latencies, memHitLat int) *Estimator {
+	e := &Estimator{lat: lat, memHit: memHitLat}
+	e.destCycle[0] = make([]int64, isa.NumPhysicalRegs)
+	e.destCycle[1] = make([]int64, isa.NumPhysicalRegs)
+	return e
+}
+
+func domIdx(fp bool) int {
+	if fp {
+		return 1
+	}
+	return 0
+}
+
+func (e *Estimator) operand(fp bool, preg int16) int64 {
+	if preg == isa.NoReg {
+		return 0
+	}
+	return e.destCycle[domIdx(fp)][preg]
+}
+
+// OnDispatch computes and stores the estimate for in (which must already
+// be renamed) and records it in in.EstIssue.
+func (e *Estimator) OnDispatch(in *isa.Inst, cycle int64) {
+	est := cycle + 1
+	if t := e.operand(in.Src1FP, in.PSrc1); t > est {
+		est = t
+	}
+	// A store's issue time is its *address* computation time; the data
+	// operand (Src2) is only needed at commit.
+	if in.Class != isa.Store {
+		if t := e.operand(in.Src2FP, in.PSrc2); t > est {
+			est = t
+		}
+	}
+	switch in.Class {
+	case isa.Load:
+		if e.allStore > est {
+			est = e.allStore
+		}
+	case isa.Store:
+		if a := est + isa.AddressLatency; a > e.allStore {
+			e.allStore = a
+		}
+	}
+	in.EstIssue = est
+	if in.PDest != isa.NoReg {
+		e.destCycle[domIdx(in.DestFP)][in.PDest] = est + int64(latencyOf(in, e.lat, e.memHit))
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+func est() *Estimator { return NewEstimator(isa.DefaultLatencies(), 2) }
+
+func TestEstimatorIndependentInstruction(t *testing.T) {
+	e := est()
+	in := mkInst(0, isa.IntALU, isa.NoReg, isa.NoReg, 5)
+	e.OnDispatch(in, 10)
+	if in.EstIssue != 11 {
+		t.Fatalf("EstIssue = %d, want cycle+1 = 11", in.EstIssue)
+	}
+}
+
+func TestEstimatorChainsThroughDest(t *testing.T) {
+	e := est()
+	// FPMult (latency 4) producing reg 3, then a consumer.
+	prod := mkInst(0, isa.FPMult, isa.NoReg, isa.NoReg, 3)
+	e.OnDispatch(prod, 10) // est issue 11, dest ready 15
+	cons := mkInst(1, isa.FPAdd, 3, isa.NoReg, 4)
+	e.OnDispatch(cons, 10)
+	if cons.EstIssue != 15 {
+		t.Fatalf("consumer EstIssue = %d, want 15", cons.EstIssue)
+	}
+	// Second-level consumer through FPAdd (latency 2): 15+2 = 17.
+	cons2 := mkInst(2, isa.FPAdd, 4, isa.NoReg, 5)
+	e.OnDispatch(cons2, 10)
+	if cons2.EstIssue != 17 {
+		t.Fatalf("second consumer EstIssue = %d, want 17", cons2.EstIssue)
+	}
+}
+
+func TestEstimatorMaxOfOperands(t *testing.T) {
+	e := est()
+	a := mkInst(0, isa.FPMult, isa.NoReg, isa.NoReg, 1) // ready 15
+	b := mkInst(1, isa.FPAdd, isa.NoReg, isa.NoReg, 2)  // ready 13
+	e.OnDispatch(a, 10)
+	e.OnDispatch(b, 10)
+	c := mkInst(2, isa.FPAdd, 1, 2, 3)
+	e.OnDispatch(c, 10)
+	if c.EstIssue != 15 {
+		t.Fatalf("EstIssue = %d, want max(15,13)", c.EstIssue)
+	}
+}
+
+func TestEstimatorLoadLatencyAssumesHit(t *testing.T) {
+	e := est()
+	ld := mkInst(0, isa.Load, isa.NoReg, isa.NoReg, 3)
+	ld.DestFP = true
+	e.OnDispatch(ld, 10) // issue 11, dest ready 11 + (1 addr + 2 hit) = 14
+	cons := mkInst(1, isa.FPAdd, 3, isa.NoReg, 4)
+	cons.Src1FP = true
+	e.OnDispatch(cons, 10)
+	if cons.EstIssue != 14 {
+		t.Fatalf("load consumer EstIssue = %d, want 14", cons.EstIssue)
+	}
+}
+
+func TestEstimatorAllStoreAddr(t *testing.T) {
+	e := est()
+	// A store whose address operand is ready: est issue 11, address
+	// known at 12. A later load must not be estimated before 12.
+	st := mkInst(0, isa.Store, 1, 2, isa.NoReg)
+	e.OnDispatch(st, 10)
+	ld := mkInst(1, isa.Load, isa.NoReg, isa.NoReg, 3)
+	e.OnDispatch(ld, 10)
+	if ld.EstIssue != 12 {
+		t.Fatalf("load EstIssue = %d, want AllStoreAddr 12", ld.EstIssue)
+	}
+	// Stores do not constrain non-memory instructions.
+	alu := mkInst(2, isa.IntALU, isa.NoReg, isa.NoReg, 4)
+	e.OnDispatch(alu, 10)
+	if alu.EstIssue != 11 {
+		t.Fatalf("ALU EstIssue = %d, want 11", alu.EstIssue)
+	}
+}
+
+func TestEstimatorStoreChainsAllStoreAddr(t *testing.T) {
+	e := est()
+	// Store whose address depends on a multiply: addr known late.
+	mul := mkInst(0, isa.IntMult, isa.NoReg, isa.NoReg, 1) // ready 11+3=14
+	e.OnDispatch(mul, 10)
+	st := mkInst(1, isa.Store, 1, 2, isa.NoReg) // est issue 14, addr 15
+	e.OnDispatch(st, 10)
+	ld := mkInst(2, isa.Load, isa.NoReg, isa.NoReg, 3)
+	e.OnDispatch(ld, 10)
+	if ld.EstIssue != 15 {
+		t.Fatalf("load EstIssue = %d, want 15", ld.EstIssue)
+	}
+}
+
+func TestEstimatorDomainsSeparate(t *testing.T) {
+	e := est()
+	fpProd := mkInst(0, isa.FPMult, isa.NoReg, isa.NoReg, 3) // FP 3 ready 15
+	e.OnDispatch(fpProd, 10)
+	// Integer consumer of *integer* register 3 sees no dependence.
+	cons := mkInst(1, isa.IntALU, 3, isa.NoReg, 4)
+	e.OnDispatch(cons, 10)
+	if cons.EstIssue != 11 {
+		t.Fatalf("cross-domain leak: EstIssue = %d, want 11", cons.EstIssue)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+func newTestLatFIFO(queues, entries int) (*latFIFO, *Estimator) {
+	opt := defaultOpts(isa.FPDomain)
+	opt.Estimator = NewEstimator(opt.Latencies, opt.MemHitLat)
+	s, err := New(DomainConfig{Kind: KindLatFIFO, Queues: queues, Entries: entries}, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s.(*latFIFO), opt.Estimator
+}
+
+// dispatchAt estimates and dispatches an instruction at the given cycle.
+func dispatchAt(t *testing.T, l *latFIFO, est *Estimator, env *fakeEnv,
+	in *isa.Inst, cycle int64) {
+	t.Helper()
+	env.cycle = cycle
+	est.OnDispatch(in, cycle)
+	if !l.Dispatch(env, in) {
+		t.Fatalf("dispatch of seq %d stalled", in.Seq)
+	}
+}
+
+func TestLatFIFOPlacesAfterEarlierTail(t *testing.T) {
+	// An instruction whose estimated issue time is later than a queue's
+	// tail estimate by >= 1 cycle must join that queue rather than an
+	// empty one when the tail issues latest among candidates.
+	l, est := newTestLatFIFO(3, 8)
+	env := newFakeEnv()
+
+	// Two producers with different latencies seed two queues.
+	early := mkInst(0, isa.FPAdd, isa.NoReg, isa.NoReg, 1) // est issue 1, ready 3
+	late := mkInst(1, isa.FPMult, isa.NoReg, isa.NoReg, 2) // est issue 1, ready 5
+	dispatchAt(t, l, est, env, early, 0)
+	dispatchAt(t, l, est, env, late, 0)
+	if early.QueueID == late.QueueID {
+		t.Fatal("seed instructions share a queue")
+	}
+
+	// A consumer of the late producer (est issue 5): both tails (est 1)
+	// qualify; the rule picks the queue whose tail is expected latest.
+	// Both tails have est 1, so the choice is the first maximal one;
+	// instead make the late queue's tail strictly later by appending a
+	// consumer of 'early' (est 3) to early's queue first.
+	mid := mkInst(2, isa.FPAdd, 1, isa.NoReg, 3) // est issue 3
+	dispatchAt(t, l, est, env, mid, 0)
+	if mid.QueueID != early.QueueID {
+		t.Fatalf("mid went to queue %d, want %d (dependence is irrelevant; "+
+			"tail est 1 <= 3-1 both, tie broken by latest tail)", mid.QueueID, early.QueueID)
+	}
+
+	cons := mkInst(3, isa.FPAdd, 2, isa.NoReg, 4) // est issue 5
+	dispatchAt(t, l, est, env, cons, 0)
+	// Candidate queues: early's queue tail est 3 (3 <= 4), late's queue
+	// tail est 1 (1 <= 4), empty queue. Latest tail wins: early's queue.
+	if cons.QueueID != early.QueueID {
+		t.Fatalf("consumer in queue %d, want latest-tail queue %d",
+			cons.QueueID, early.QueueID)
+	}
+}
+
+func TestLatFIFOFallsBackToEmptyQueue(t *testing.T) {
+	// When no queue's tail is expected at least one cycle earlier, the
+	// instruction takes an empty queue.
+	l, est := newTestLatFIFO(2, 8)
+	env := newFakeEnv()
+	a := mkInst(0, isa.FPMult, isa.NoReg, isa.NoReg, 1) // est 1
+	dispatchAt(t, l, est, env, a, 0)
+	b := mkInst(1, isa.FPAdd, isa.NoReg, isa.NoReg, 2) // est 1, not >= tail+1
+	dispatchAt(t, l, est, env, b, 0)
+	if b.QueueID == a.QueueID {
+		t.Fatal("same-estimate instruction stacked behind an equal tail")
+	}
+}
+
+func TestLatFIFOStallsWhenNoPlacement(t *testing.T) {
+	l, est := newTestLatFIFO(2, 1)
+	env := newFakeEnv()
+	a := mkInst(0, isa.FPMult, isa.NoReg, isa.NoReg, 1)
+	b := mkInst(1, isa.FPMult, isa.NoReg, isa.NoReg, 2)
+	dispatchAt(t, l, est, env, a, 0)
+	dispatchAt(t, l, est, env, b, 0)
+	c := mkInst(2, isa.FPAdd, 1, isa.NoReg, 3)
+	est.OnDispatch(c, 0)
+	if l.Dispatch(env, c) {
+		t.Fatal("dispatch succeeded with all queues full")
+	}
+	if l.Occupancy() != 2 {
+		t.Fatal("failed dispatch mutated occupancy")
+	}
+}
+
+func TestLatFIFOIssuesHeadsInOrder(t *testing.T) {
+	l, est := newTestLatFIFO(2, 8)
+	env := newFakeEnv()
+	a := mkInst(0, isa.FPAdd, isa.NoReg, isa.NoReg, 1)
+	b := mkInst(1, isa.FPAdd, isa.NoReg, isa.NoReg, 2)
+	dispatchAt(t, l, est, env, a, 0)
+	dispatchAt(t, l, est, env, b, 0)
+	env.cycle = 1
+	if n := l.Issue(env, 1); n != 1 {
+		t.Fatalf("issued %d, want 1 (budget)", n)
+	}
+	if env.issued[0] != a {
+		t.Fatal("younger head issued before older")
+	}
+	if l.Occupancy() != 1 {
+		t.Fatal("pop bookkeeping wrong")
+	}
+}
+
+func TestLatFIFOGeometryIsFIFO(t *testing.T) {
+	l, _ := newTestLatFIFO(4, 8)
+	g := l.Geometry()
+	if g.Queues != 4 || g.Entries != 8 {
+		t.Fatalf("geometry %+v", g)
+	}
+	if l.Name() != "LatFIFO" {
+		t.Fatal("name")
+	}
+}

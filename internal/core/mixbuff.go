@@ -1,0 +1,333 @@
+package core
+
+import (
+	"distiq/internal/isa"
+	"distiq/internal/power"
+)
+
+// Latency codes broadcast to the queue entries, one 2-bit value per chain
+// (Figure 5). Lower values win selection; the age identifier breaks ties,
+// so the concatenation code‖age selects the oldest instruction of the
+// highest-priority chain with a plain minimum circuit.
+//
+// The paper defines the codes relative to its select-then-issue-next-cycle
+// timing: 00 = the chain's last issued instruction finishes next cycle
+// (first-time-ready consumers issue just in time), 01 = it already
+// finished (a delayed consumer), 11 = two or more cycles remain. Our
+// pipeline uses the standard atomic wakeup+select abstraction (issue takes
+// effect in the selection cycle), so the same priorities are expressed as:
+// codeFirstTime when the chain's result became usable exactly this cycle,
+// codeDelayed when it became usable earlier, codeNotReady otherwise. The
+// priority order — first-time ready over delayed over not-ready — is
+// identical to the paper's.
+const (
+	codeFirstTime = 0 // paper's 00
+	codeDelayed   = 1 // paper's 01
+	codeNotReady  = 3 // paper's 11
+)
+
+// chainState is one chain of one queue: a saturating down-counter tracking
+// when the last issued instruction of the chain completes, plus allocation
+// bookkeeping.
+type chainState struct {
+	busy       bool
+	gen        uint32 // generation, invalidates stale map entries
+	lastSeq    uint64 // youngest instruction dispatched into the chain
+	pending    int    // instructions of this chain still in the queue
+	countdown  int    // cycles until the last issued instruction's result
+	readySince int64  // cycle the countdown reached zero
+}
+
+// mixChainMapEntry records, per register, the queue/chain whose last
+// instruction produces it.
+type mixChainMapEntry struct {
+	queue, chain int
+	seq          uint64
+	gen          uint32
+	valid        bool
+}
+
+// mixBUFF is the paper's proposed organization: each queue is a small RAM
+// buffer holding several dependence chains; a per-queue chain latency
+// table paces issue without wakeup, and the selection logic picks one
+// instruction per queue per cycle by minimum code‖age.
+type mixBUFF struct {
+	opt    Options
+	cfg    DomainConfig
+	chainN int // chains per queue
+
+	queues [][]*isa.Inst
+	chains [][]chainState
+	table  map[regKey]mixChainMapEntry
+	ev     power.Events
+	occ    int
+
+	lastTick   int64 // guards the once-per-cycle countdown update
+	candidates []*isa.Inst
+}
+
+func newMixBUFF(cfg DomainConfig, opt Options) *mixBUFF {
+	chainN := cfg.Chains
+	if chainN <= 0 {
+		// "Unbounded" chains: an instruction always occupies an entry,
+		// so entry count bounds the chains a queue can ever need.
+		chainN = cfg.Entries
+	}
+	m := &mixBUFF{
+		opt:      opt,
+		cfg:      cfg,
+		chainN:   chainN,
+		queues:   make([][]*isa.Inst, cfg.Queues),
+		chains:   make([][]chainState, cfg.Queues),
+		table:    make(map[regKey]mixChainMapEntry),
+		lastTick: -1,
+	}
+	for i := range m.queues {
+		m.queues[i] = make([]*isa.Inst, 0, cfg.Entries)
+		m.chains[i] = make([]chainState, chainN)
+	}
+	return m
+}
+
+func (m *mixBUFF) Name() string          { return "MixBUFF" }
+func (m *mixBUFF) Occupancy() int        { return m.occ }
+func (m *mixBUFF) Capacity() int         { return m.cfg.Total() }
+func (m *mixBUFF) Events() *power.Events { return &m.ev }
+
+func (m *mixBUFF) Geometry() power.Geometry {
+	return power.Geometry{
+		Style:       power.StyleBuff,
+		Queues:      m.cfg.Queues,
+		Entries:     m.cfg.Entries,
+		Chains:      m.chainN,
+		TagBits:     8,
+		PayloadBits: 80,
+		FUFanout:    m.opt.fanout(),
+	}
+}
+
+// Dispatch implements the paper's placement: an instruction joins its
+// predecessor's chain only if the predecessor is the last instruction of
+// that chain and the queue has room; otherwise the lowest free chain
+// identifier across queues is allocated (chain-major order, balancing busy
+// chains per queue); otherwise dispatch stalls.
+func (m *mixBUFF) Dispatch(env Env, in *isa.Inst) bool {
+	m.ev.QRenameReads += uint64(in.NumSources())
+
+	q, c := -1, -1
+	if in.Src1 != isa.NoReg {
+		q, c = m.appendTarget(regKey{in.Src1, in.Src1FP})
+	}
+	// Stores chain by their address operand only (see issueFIFO.Dispatch).
+	if q < 0 && in.Src2 != isa.NoReg && in.Class != isa.Store {
+		q, c = m.appendTarget(regKey{in.Src2, in.Src2FP})
+	}
+	if q < 0 {
+		q, c = m.allocChain(env)
+		if q < 0 {
+			return false
+		}
+	}
+
+	ch := &m.chains[q][c]
+	ch.lastSeq = in.Seq
+	ch.pending++
+	in.QueueID, in.ChainID = q, c
+	m.queues[q] = append(m.queues[q], in)
+	m.occ++
+	m.ev.BuffWrites++
+	if in.HasDest() {
+		m.table[regKey{in.Dest, in.DestFP}] = mixChainMapEntry{
+			queue: q, chain: c, seq: in.Seq, gen: ch.gen, valid: true,
+		}
+		m.ev.QRenameWrites++
+	}
+	return true
+}
+
+// appendTarget resolves a source register to an appendable (queue, chain):
+// the mapping must be current (generation matches), the producer must
+// still be the chain's last instruction, and the queue must have room.
+func (m *mixBUFF) appendTarget(k regKey) (int, int) {
+	e, ok := m.table[k]
+	if !ok || !e.valid {
+		return -1, -1
+	}
+	ch := &m.chains[e.queue][e.chain]
+	if !ch.busy || ch.gen != e.gen || ch.lastSeq != e.seq {
+		return -1, -1
+	}
+	if len(m.queues[e.queue]) >= m.cfg.Entries {
+		return -1, -1
+	}
+	return e.queue, e.chain
+}
+
+// allocChain returns the lowest free chain identifier in chain-major order
+// (chain 0 of queue 0, chain 0 of queue 1, ..., chain 1 of queue 0, ...),
+// the paper's busy-chain balancing rule.
+func (m *mixBUFF) allocChain(env Env) (int, int) {
+	for c := 0; c < m.chainN; c++ {
+		for q := 0; q < m.cfg.Queues; q++ {
+			if m.chains[q][c].busy || len(m.queues[q]) >= m.cfg.Entries {
+				continue
+			}
+			ch := &m.chains[q][c]
+			ch.busy = true
+			ch.pending = 0
+			ch.countdown = 0
+			// A fresh chain's first instruction is "considered for
+			// the first time" at the next selection opportunity.
+			ch.readySince = env.Cycle() + 1
+			return q, c
+		}
+	}
+	return -1, -1
+}
+
+// tick advances every chain latency table once per cycle: all counters
+// decrement saturating at zero (the counter of a chain that issued an
+// instruction is reloaded at issue time instead).
+func (m *mixBUFF) tick(env Env) {
+	now := env.Cycle()
+	if now == m.lastTick {
+		return
+	}
+	m.lastTick = now
+	for q := range m.chains {
+		if len(m.queues[q]) == 0 {
+			continue
+		}
+		// Whole-table read + write, as the paper describes.
+		m.ev.ChainReads++
+		m.ev.ChainWrites++
+		for c := range m.chains[q] {
+			ch := &m.chains[q][c]
+			if !ch.busy || ch.countdown == 0 {
+				continue
+			}
+			ch.countdown--
+			if ch.countdown == 0 {
+				ch.readySince = now
+			}
+		}
+	}
+}
+
+// code returns the 2-bit compressed latency code of a chain. With the
+// FlatSelectPriority ablation, every ready chain compresses to the same
+// class and selection degenerates to age order.
+func (m *mixBUFF) code(q, c int, now int64) int {
+	ch := &m.chains[q][c]
+	switch {
+	case ch.countdown > 0:
+		return codeNotReady
+	case m.cfg.FlatSelectPriority:
+		return codeDelayed
+	case ch.readySince >= now:
+		return codeFirstTime
+	default:
+		return codeDelayed
+	}
+}
+
+// Issue selects at most one instruction per queue by minimum code‖age,
+// verifies the selected instruction's operands in the ready-bit table and
+// issues the survivors oldest-first up to the budget. A selected
+// instruction that cannot issue keeps its entry; its chain transitions to
+// the delayed code, implementing the paper's first-time priority.
+func (m *mixBUFF) Issue(env Env, budget int) int {
+	m.tick(env)
+	now := env.Cycle()
+
+	m.candidates = m.candidates[:0]
+	for q := range m.queues {
+		entries := m.queues[q]
+		if len(entries) == 0 {
+			continue
+		}
+		m.ev.SelectOps++
+		m.ev.SelectEntries += uint64(len(entries))
+
+		var best *isa.Inst
+		bestCode := codeNotReady
+		for _, in := range entries {
+			code := m.code(q, in.ChainID, now)
+			if code == codeNotReady {
+				continue
+			}
+			if best == nil || code < bestCode ||
+				(code == bestCode && env.Older(in.AgeID, best.AgeID)) {
+				best, bestCode = in, code
+			}
+		}
+		if best == nil {
+			continue
+		}
+		m.ev.SelRegWrites++
+		// The single selected instruction consults the ready-bit
+		// table (the estimation may be wrong for cross-queue or
+		// cache-miss dependences).
+		m.ev.RegsReadyReads += uint64(best.NumSources())
+		if OperandsReady(env, best) {
+			m.candidates = append(m.candidates, best)
+		}
+	}
+
+	ageSorted(env, m.candidates)
+	issued := 0
+	for _, in := range m.candidates {
+		if issued >= budget {
+			break
+		}
+		if !env.TryIssue(in) {
+			continue
+		}
+		m.remove(in)
+		m.ev.BuffReads++
+		issued++
+	}
+	return issued
+}
+
+// remove deletes an issued instruction from its queue and updates its
+// chain: the countdown is reloaded with the instruction's latency, and the
+// chain is freed (generation bumped) once no instructions remain.
+func (m *mixBUFF) remove(in *isa.Inst) {
+	q := in.QueueID
+	entries := m.queues[q]
+	for i, e := range entries {
+		if e == in {
+			entries[i] = entries[len(entries)-1]
+			entries[len(entries)-1] = nil
+			m.queues[q] = entries[:len(entries)-1]
+			break
+		}
+	}
+	m.occ--
+
+	ch := &m.chains[q][in.ChainID]
+	ch.pending--
+	ch.countdown = latencyOf(in, m.opt.Latencies, m.opt.MemHitLat)
+	if ch.countdown == 0 {
+		ch.readySince = 0 // immediately delayed-class; not expected with real latencies
+	}
+	if ch.pending == 0 && ch.lastSeq == in.Seq {
+		ch.busy = false
+		ch.gen++
+	}
+}
+
+func (m *mixBUFF) OnComplete(Env, bool) {}
+
+// OnMispredictResolved clears the register-to-chain map table (the paper
+// clears the equivalent table on mispredictions; KeepMapOnMispredict
+// retains it for the ablation study).
+func (m *mixBUFF) OnMispredictResolved() {
+	if m.cfg.KeepMapOnMispredict {
+		return
+	}
+	for k := range m.table {
+		delete(m.table, k)
+	}
+}

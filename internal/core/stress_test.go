@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"distiq/internal/isa"
+	"distiq/internal/rng"
+)
+
+// stressEnv is an Env whose operand readiness resolves a fixed number of
+// cycles after the producer issues, emulating the pipeline's bypass
+// behaviour without the pipeline.
+type stressEnv struct {
+	cycle   int64
+	readyAt map[[2]int32]int64 // (dom,preg) -> cycle usable
+	issued  []*isa.Inst
+	budget  int
+}
+
+func newStressEnv() *stressEnv {
+	return &stressEnv{readyAt: map[[2]int32]int64{}, budget: 1 << 30}
+}
+
+func key(fp bool, preg int16) [2]int32 {
+	d := int32(0)
+	if fp {
+		d = 1
+	}
+	return [2]int32{d, int32(preg)}
+}
+
+func (e *stressEnv) Cycle() int64 { return e.cycle }
+
+func (e *stressEnv) OperandReady(fp bool, preg int16) bool {
+	at, ok := e.readyAt[key(fp, preg)]
+	return !ok || at <= e.cycle // unknown registers are architecturally ready
+}
+
+func (e *stressEnv) TryIssue(in *isa.Inst) bool {
+	if e.budget <= 0 {
+		return false
+	}
+	if !OperandsReady(e, in) {
+		return false
+	}
+	e.budget--
+	lat := int64(isa.DefaultLatencies()[in.Class])
+	if in.Class == isa.Load {
+		lat += 2
+	}
+	if in.PDest != isa.NoReg {
+		e.readyAt[key(in.DestFP, in.PDest)] = e.cycle + lat
+	}
+	in.Issued = true
+	e.issued = append(e.issued, in)
+	return true
+}
+
+func (e *stressEnv) Older(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	return (b-a)&511 < 256
+}
+
+// TestSchemeStress drives every organization with randomized dependent
+// traffic and checks conservation and liveness: every dispatched
+// instruction eventually issues exactly once, occupancy bookkeeping stays
+// consistent, and the scheme never exceeds its capacity.
+func TestSchemeStress(t *testing.T) {
+	mk := func(kind Kind, chains int) func() Scheme {
+		return func() Scheme {
+			s, err := New(DomainConfig{Kind: kind, Queues: 4, Entries: 8, Chains: chains},
+				defaultOpts(isa.FPDomain))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	camMk := func() Scheme {
+		s, err := New(DomainConfig{Kind: KindCAM, Queues: 1, Entries: 32},
+			defaultOpts(isa.FPDomain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	adaptiveMk := func() Scheme {
+		s, err := New(DomainConfig{Kind: KindAdaptiveCAM, Queues: 1, Entries: 32},
+			defaultOpts(isa.FPDomain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := map[string]func() Scheme{
+		"CAM":         camMk,
+		"AdaptiveCAM": adaptiveMk,
+		"IssueFIFO":   mk(KindIssueFIFO, 0),
+		"MixBUFF":     mk(KindMixBUFF, 4),
+		"MixBUFF-unb": mk(KindMixBUFF, 0),
+	}
+	for name, build := range cases {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			stressOne(t, build())
+		})
+	}
+
+	// PreSched needs the estimator wired.
+	t.Run("PreSched", func(t *testing.T) {
+		opt := defaultOpts(isa.FPDomain)
+		opt.Estimator = NewEstimator(opt.Latencies, opt.MemHitLat)
+		s, err := New(DomainConfig{Kind: KindPreSched, Queues: 1, Entries: 32, Chains: 8}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stressLat(t, s, opt.Estimator)
+	})
+
+	// LatFIFO needs the estimator wired.
+	t.Run("LatFIFO", func(t *testing.T) {
+		opt := defaultOpts(isa.FPDomain)
+		opt.Estimator = NewEstimator(opt.Latencies, opt.MemHitLat)
+		s, err := New(DomainConfig{Kind: KindLatFIFO, Queues: 4, Entries: 8}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stressLat(t, s, opt.Estimator)
+	})
+}
+
+func stressOne(t *testing.T, s Scheme) {
+	stress(t, s, nil)
+}
+
+func stressLat(t *testing.T, s Scheme, est *Estimator) {
+	stress(t, s, est)
+}
+
+func stress(t *testing.T, s Scheme, est *Estimator) {
+	t.Helper()
+	env := newStressEnv()
+	r := rng.New(uint64(len(s.Name())) * 977)
+
+	const total = 6000
+	dispatched := 0
+	seq := uint64(0)
+	inFlight := map[uint64]bool{}
+	issuedSeqs := map[uint64]bool{}
+	var lastDest int16 = isa.NoReg
+
+	for env.cycle = 1; dispatched < total || len(inFlight) > 0; env.cycle++ {
+		if env.cycle > 20*total {
+			t.Fatalf("%s: livelock, %d in flight after %d cycles (occ %d)",
+				s.Name(), len(inFlight), env.cycle, s.Occupancy())
+		}
+		// Issue phase.
+		before := len(env.issued)
+		s.Issue(env, 4)
+		for _, in := range env.issued[before:] {
+			if issuedSeqs[in.Seq] {
+				t.Fatalf("%s: seq %d issued twice", s.Name(), in.Seq)
+			}
+			issuedSeqs[in.Seq] = true
+			if !inFlight[in.Seq] {
+				t.Fatalf("%s: issued seq %d that was never dispatched", s.Name(), in.Seq)
+			}
+			delete(inFlight, in.Seq)
+		}
+		// Dispatch phase: up to 4 per cycle, random dependence on the
+		// previous destination half the time.
+		for k := 0; k < 4 && dispatched < total; k++ {
+			var src1 int16 = isa.NoReg
+			if lastDest != isa.NoReg && r.Bool(0.5) {
+				src1 = lastDest
+			}
+			dest := int16(r.Intn(32))
+			in := mkInst(seq, isa.FPAdd, src1, isa.NoReg, dest)
+			if est != nil {
+				est.OnDispatch(in, env.cycle)
+			}
+			if !s.Dispatch(env, in) {
+				if s.Occupancy() == 0 {
+					t.Fatalf("%s: dispatch stalled on empty scheme", s.Name())
+				}
+				break
+			}
+			inFlight[in.Seq] = true
+			seq++
+			dispatched++
+			lastDest = dest
+			if s.Occupancy() > s.Capacity() {
+				t.Fatalf("%s: occupancy %d exceeds capacity %d",
+					s.Name(), s.Occupancy(), s.Capacity())
+			}
+		}
+		// Occasional mispredict-resolution clears.
+		if r.Bool(0.01) {
+			s.OnMispredictResolved()
+		}
+		// Occasional result broadcasts for CAM accounting.
+		if r.Bool(0.2) {
+			s.OnComplete(env, true)
+		}
+	}
+	if s.Occupancy() != 0 {
+		t.Fatalf("%s: %d instructions stuck at end", s.Name(), s.Occupancy())
+	}
+	if len(issuedSeqs) != total {
+		t.Fatalf("%s: issued %d of %d dispatched", s.Name(), len(issuedSeqs), total)
+	}
+}

@@ -1,0 +1,117 @@
+// Package fu models the functional units of Table 1 and the paper's
+// distributed binding of units to issue queues.
+//
+// The pool provisions 8 integer ALUs, 4 integer multiply/divide units, 4 FP
+// adders and 4 FP multiply/divide units. In the conventional configuration
+// any instruction may use any unit of the right kind (through a large
+// crossbar, whose energy the power model charges). In the distributed
+// configuration (IF_distr, MB_distr) each integer queue owns one integer
+// ALU, each pair of integer queues shares one multiply/divide unit and each
+// pair of FP queues shares one FP adder and one FP multiply/divide unit, so
+// an instruction may only execute on the unit(s) wired to its queue.
+//
+// ALUs, adders and multipliers are fully pipelined (one new operation per
+// cycle per unit); dividers block the unit for the full operation latency,
+// as in SimpleScalar.
+package fu
+
+import "distiq/internal/isa"
+
+// Pool is the set of functional units of one core.
+type Pool struct {
+	counts      [isa.NumFUKinds]int
+	distributed bool
+
+	// usedAt[k][u] is the last cycle unit u of kind k accepted an
+	// operation (pipelined issue-slot conflict detection); busyUntil
+	// holds non-pipelined reservations (dividers).
+	usedAt    [isa.NumFUKinds][]int64
+	busyUntil [isa.NumFUKinds][]int64
+
+	// Issues counts accepted operations per kind.
+	Issues [isa.NumFUKinds]uint64
+	// Rejects counts operations denied a unit.
+	Rejects [isa.NumFUKinds]uint64
+}
+
+// Counts is the per-kind unit provisioning.
+type Counts [isa.NumFUKinds]int
+
+// DefaultCounts returns the Table 1 functional units: 8 integer ALUs,
+// 4 integer mult/div, 4 FP adders, 4 FP mult/div.
+func DefaultCounts() Counts {
+	return Counts{
+		isa.IntALUUnit: 8,
+		isa.IntMulUnit: 4,
+		isa.FPAddUnit:  4,
+		isa.FPMulUnit:  4,
+	}
+}
+
+// New returns a pool; distributed selects the per-queue binding.
+func New(counts Counts, distributed bool) *Pool {
+	p := &Pool{distributed: distributed}
+	for k := range counts {
+		if counts[k] <= 0 {
+			panic("fu: non-positive unit count")
+		}
+		p.counts[k] = counts[k]
+		p.usedAt[k] = make([]int64, counts[k])
+		p.busyUntil[k] = make([]int64, counts[k])
+		for u := range p.usedAt[k] {
+			p.usedAt[k][u] = -1
+			p.busyUntil[k][u] = -1
+		}
+	}
+	return p
+}
+
+// Distributed reports whether the pool uses per-queue bindings.
+func (p *Pool) Distributed() bool { return p.distributed }
+
+// unitFor returns the unit index bound to a queue under the paper's
+// distribution: one integer ALU per integer queue; one shared unit per
+// queue pair for every other kind.
+func (p *Pool) unitFor(kind isa.FUKind, queue int) int {
+	if kind == isa.IntALUUnit {
+		return queue % p.counts[kind]
+	}
+	return (queue / 2) % p.counts[kind]
+}
+
+// Acquire reserves a unit of the given kind at cycle for an operation that
+// occupies the unit for occupy cycles (1 for pipelined operations, the full
+// latency for divides). queue selects the bound unit in distributed mode
+// and is ignored otherwise. It reports whether a unit was available.
+func (p *Pool) Acquire(kind isa.FUKind, queue int, cycle int64, occupy int) bool {
+	if occupy < 1 {
+		occupy = 1
+	}
+	lo, hi := 0, p.counts[kind]
+	if p.distributed {
+		u := p.unitFor(kind, queue)
+		lo, hi = u, u+1
+	}
+	for u := lo; u < hi; u++ {
+		if p.usedAt[kind][u] == cycle || p.busyUntil[kind][u] >= cycle {
+			continue
+		}
+		p.usedAt[kind][u] = cycle
+		if occupy > 1 {
+			p.busyUntil[kind][u] = cycle + int64(occupy) - 1
+		}
+		p.Issues[kind]++
+		return true
+	}
+	p.Rejects[kind]++
+	return false
+}
+
+// Occupancy returns the occupy-cycles argument for a class: dividers are
+// not pipelined, everything else is.
+func Occupancy(class isa.Class, lat int) int {
+	if class == isa.IntDiv || class == isa.FPDiv {
+		return lat
+	}
+	return 1
+}

@@ -1,0 +1,129 @@
+package fu
+
+import (
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+func TestDefaultCounts(t *testing.T) {
+	c := DefaultCounts()
+	if c[isa.IntALUUnit] != 8 || c[isa.IntMulUnit] != 4 ||
+		c[isa.FPAddUnit] != 4 || c[isa.FPMulUnit] != 4 {
+		t.Fatalf("default counts %v do not match Table 1", c)
+	}
+}
+
+func TestGlobalPoolWidth(t *testing.T) {
+	p := New(DefaultCounts(), false)
+	// 8 integer ALUs: exactly 8 acquisitions per cycle succeed.
+	got := 0
+	for i := 0; i < 10; i++ {
+		if p.Acquire(isa.IntALUUnit, 0, 1, 1) {
+			got++
+		}
+	}
+	if got != 8 {
+		t.Fatalf("acquired %d IntALU slots, want 8", got)
+	}
+	// Next cycle all are free again (pipelined).
+	if !p.Acquire(isa.IntALUUnit, 0, 2, 1) {
+		t.Fatal("pipelined unit not free next cycle")
+	}
+	if p.Rejects[isa.IntALUUnit] != 2 {
+		t.Fatalf("Rejects = %d, want 2", p.Rejects[isa.IntALUUnit])
+	}
+}
+
+func TestNonPipelinedDivider(t *testing.T) {
+	p := New(Counts{1, 1, 1, 1}, false)
+	if !p.Acquire(isa.IntMulUnit, 0, 10, 20) {
+		t.Fatal("first divide rejected")
+	}
+	for c := int64(11); c < 30; c++ {
+		if p.Acquire(isa.IntMulUnit, 0, c, 1) {
+			t.Fatalf("unit free at cycle %d during divide", c)
+		}
+	}
+	if !p.Acquire(isa.IntMulUnit, 0, 30, 1) {
+		t.Fatal("unit not free after divide completes")
+	}
+}
+
+func TestDistributedBinding(t *testing.T) {
+	p := New(DefaultCounts(), true)
+	// Queue 3's integer ALU is unit 3; queue 3 and queue 11 share it
+	// when there are only 8 units (wraparound).
+	if !p.Acquire(isa.IntALUUnit, 3, 1, 1) {
+		t.Fatal("queue 3 could not use its ALU")
+	}
+	if p.Acquire(isa.IntALUUnit, 3, 1, 1) {
+		t.Fatal("queue 3 acquired its ALU twice in one cycle")
+	}
+	// A different queue's ALU is independent.
+	if !p.Acquire(isa.IntALUUnit, 4, 1, 1) {
+		t.Fatal("queue 4 blocked by queue 3's ALU")
+	}
+}
+
+func TestDistributedPairSharing(t *testing.T) {
+	p := New(DefaultCounts(), true)
+	// FP queues 0 and 1 share FP adder 0.
+	if !p.Acquire(isa.FPAddUnit, 0, 5, 1) {
+		t.Fatal("queue 0 FP add failed")
+	}
+	if p.Acquire(isa.FPAddUnit, 1, 5, 1) {
+		t.Fatal("queue 1 acquired the shared adder in the same cycle")
+	}
+	// Queue 2 uses adder 1.
+	if !p.Acquire(isa.FPAddUnit, 2, 5, 1) {
+		t.Fatal("queue 2 FP add failed")
+	}
+	if !p.Acquire(isa.FPAddUnit, 1, 6, 1) {
+		t.Fatal("shared adder not free next cycle")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	lat := isa.DefaultLatencies()
+	if Occupancy(isa.IntDiv, lat[isa.IntDiv]) != 20 {
+		t.Fatal("IntDiv occupancy")
+	}
+	if Occupancy(isa.FPDiv, lat[isa.FPDiv]) != 12 {
+		t.Fatal("FPDiv occupancy")
+	}
+	if Occupancy(isa.FPMult, lat[isa.FPMult]) != 1 {
+		t.Fatal("FPMult should be pipelined")
+	}
+	if Occupancy(isa.IntALU, lat[isa.IntALU]) != 1 {
+		t.Fatal("IntALU should be pipelined")
+	}
+}
+
+func TestIssueCounters(t *testing.T) {
+	p := New(DefaultCounts(), false)
+	p.Acquire(isa.FPMulUnit, 0, 1, 1)
+	p.Acquire(isa.FPMulUnit, 0, 1, 1)
+	if p.Issues[isa.FPMulUnit] != 2 {
+		t.Fatalf("Issues = %d, want 2", p.Issues[isa.FPMulUnit])
+	}
+}
+
+func TestPanicsOnZeroCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero unit count did not panic")
+		}
+	}()
+	New(Counts{0, 1, 1, 1}, false)
+}
+
+func TestOccupyClamped(t *testing.T) {
+	p := New(Counts{1, 1, 1, 1}, false)
+	if !p.Acquire(isa.IntALUUnit, 0, 1, 0) {
+		t.Fatal("occupy 0 rejected")
+	}
+	if !p.Acquire(isa.IntALUUnit, 0, 2, 1) {
+		t.Fatal("unit busy after occupy-0 operation")
+	}
+}

@@ -1,0 +1,180 @@
+// Package isa defines the instruction-set abstraction used by the
+// simulator: instruction classes, execution domains (integer vs floating
+// point issue queues), functional-unit kinds and the operation latencies of
+// the HPCA 2004 paper's Table 1 configuration.
+//
+// The reproduced paper simulates an Alpha-like ISA through SimpleScalar; the
+// timing behaviour that matters to the issue-queue study is fully captured
+// by the instruction class, its source/destination registers and its
+// latency, which is what this package models.
+package isa
+
+import "fmt"
+
+// Domain identifies which side of the split issue logic an instruction is
+// dispatched to. Loads, stores and branches execute on the integer side
+// (address computation and condition evaluation use integer ALUs), matching
+// the Alpha pipeline modeled by the paper, even when a load's destination is
+// a floating-point register.
+type Domain uint8
+
+const (
+	// IntDomain instructions dispatch to the integer issue queues.
+	IntDomain Domain = iota
+	// FPDomain instructions dispatch to the floating-point issue queues.
+	FPDomain
+
+	// NumDomains is the number of dispatch domains.
+	NumDomains
+)
+
+// String returns "int" or "fp".
+func (d Domain) String() string {
+	switch d {
+	case IntDomain:
+		return "int"
+	case FPDomain:
+		return "fp"
+	}
+	return fmt.Sprintf("Domain(%d)", uint8(d))
+}
+
+// Class is the operation class of an instruction. It determines the
+// functional unit kind, the execution latency and the dispatch domain.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle integer ALU operation.
+	IntALU Class = iota
+	// IntMult is a 3-cycle integer multiply.
+	IntMult
+	// IntDiv is a 20-cycle integer divide.
+	IntDiv
+	// FPAdd is a 2-cycle floating-point ALU operation (add/sub/cmp/cvt).
+	FPAdd
+	// FPMult is a 4-cycle floating-point multiply.
+	FPMult
+	// FPDiv is a 12-cycle floating-point divide.
+	FPDiv
+	// Load reads memory: one cycle of address computation on an integer
+	// ALU followed by a data-cache access.
+	Load
+	// Store computes its address in one cycle; the memory write happens
+	// at commit and is off the critical path.
+	Store
+	// Branch is a single-cycle control instruction evaluated on an
+	// integer ALU.
+	Branch
+
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "IntMult", "IntDiv", "FPAdd", "FPMult", "FPDiv",
+	"Load", "Store", "Branch",
+}
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Domain returns the dispatch domain of the class.
+func (c Class) Domain() Domain {
+	switch c {
+	case FPAdd, FPMult, FPDiv:
+		return FPDomain
+	default:
+		return IntDomain
+	}
+}
+
+// IsMem reports whether the class accesses memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// FUKind is a functional-unit type. Table 1 provisions four kinds; loads,
+// stores and branches use integer ALUs for address computation and
+// condition evaluation.
+type FUKind uint8
+
+const (
+	// IntALUUnit executes IntALU, Load/Store address computation and
+	// Branch.
+	IntALUUnit FUKind = iota
+	// IntMulUnit executes IntMult and IntDiv.
+	IntMulUnit
+	// FPAddUnit executes FPAdd.
+	FPAddUnit
+	// FPMulUnit executes FPMult and FPDiv.
+	FPMulUnit
+
+	// NumFUKinds is the number of functional-unit kinds.
+	NumFUKinds
+)
+
+var fuNames = [NumFUKinds]string{"IntALU", "IntMul", "FPAdd", "FPMul"}
+
+// String returns the functional-unit mnemonic.
+func (k FUKind) String() string {
+	if k < NumFUKinds {
+		return fuNames[k]
+	}
+	return fmt.Sprintf("FUKind(%d)", uint8(k))
+}
+
+// FU returns the functional-unit kind that executes the class.
+func (c Class) FU() FUKind {
+	switch c {
+	case IntMult, IntDiv:
+		return IntMulUnit
+	case FPAdd:
+		return FPAddUnit
+	case FPMult, FPDiv:
+		return FPMulUnit
+	default:
+		return IntALUUnit
+	}
+}
+
+// Latencies holds the execution latency, in cycles, of each class. For
+// loads the value is the address-computation latency only; the data-cache
+// access time is added by the memory system at execution time.
+type Latencies [NumClasses]int
+
+// DefaultLatencies returns the Table 1 latencies: 1-cycle integer ALU,
+// 3-cycle integer multiply, 20-cycle integer divide, 2-cycle FP ALU,
+// 4-cycle FP multiply, 12-cycle FP divide, 1-cycle address computation for
+// loads and stores and 1-cycle branches.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		IntALU:  1,
+		IntMult: 3,
+		IntDiv:  20,
+		FPAdd:   2,
+		FPMult:  4,
+		FPDiv:   12,
+		Load:    1, // address computation; cache latency added at execute
+		Store:   1, // address computation; write happens at commit
+		Branch:  1,
+	}
+}
+
+// AddressLatency is the number of cycles needed to compute a load or store
+// address, used by the LatFIFO issue-time estimator exactly as in the paper.
+const AddressLatency = 1
+
+// Register file geometry of the Table 1 configuration.
+const (
+	// NumLogicalRegs is the number of architectural registers per domain
+	// (Alpha has 32 integer and 32 floating-point registers).
+	NumLogicalRegs = 32
+	// NumPhysicalRegs is the number of physical registers per domain.
+	NumPhysicalRegs = 160
+)
+
+// NoReg marks an absent register operand.
+const NoReg int16 = -1

@@ -1,0 +1,109 @@
+// Package lsq implements the load/store queue semantics the paper's
+// issue-time estimator models: a load may not access memory until the
+// addresses of all older stores are known (the AllStoreAddr rule), and a
+// load whose address matches an older in-flight store receives the value by
+// forwarding at cache-hit latency.
+//
+// Stores are split exactly as the paper describes: the address computation
+// issues as soon as the address operand is ready (the data operand may
+// still be pending), and the memory write happens at commit. In-order
+// retirement guarantees the data is available by then. A load that matches
+// a store whose data is not yet produced must wait for the data.
+//
+// The queue is conservative (no memory-dependence speculation), matching
+// both the paper's estimator and its SimpleScalar-era baseline.
+package lsq
+
+import "distiq/internal/isa"
+
+// storeEntry tracks one in-flight store.
+type storeEntry struct {
+	inst      *isa.Inst
+	issued    bool
+	addrReady int64 // cycle the address becomes known (issue + AddressLatency)
+}
+
+// LSQ is the load/store queue. Stores enter at dispatch and leave at
+// commit; loads are checked against it at issue time.
+type LSQ struct {
+	stores []storeEntry // ordered by Seq (dispatch order)
+
+	// Forwards and Conflicts count store-to-load forwarding events and
+	// loads delayed by unknown store addresses.
+	Forwards, Conflicts uint64
+}
+
+// New returns an empty LSQ with capacity hint cap.
+func New(capacity int) *LSQ {
+	return &LSQ{stores: make([]storeEntry, 0, capacity)}
+}
+
+// Len returns the number of in-flight stores.
+func (q *LSQ) Len() int { return len(q.stores) }
+
+// AddStore registers a store at dispatch time.
+func (q *LSQ) AddStore(in *isa.Inst) {
+	q.stores = append(q.stores, storeEntry{inst: in})
+}
+
+// StoreIssued records that a store's address computation issued: the
+// address becomes known at addrReady (issue + AddressLatency).
+func (q *LSQ) StoreIssued(in *isa.Inst, addrReady int64) {
+	for i := range q.stores {
+		if q.stores[i].inst.Seq == in.Seq {
+			q.stores[i].issued = true
+			q.stores[i].addrReady = addrReady
+			return
+		}
+	}
+	panic("lsq: StoreIssued for unknown store")
+}
+
+// CommitStore removes the oldest store (must be called in commit order).
+func (q *LSQ) CommitStore(in *isa.Inst) {
+	if len(q.stores) == 0 || q.stores[0].inst.Seq != in.Seq {
+		panic("lsq: commit out of order")
+	}
+	q.stores = q.stores[1:]
+	if len(q.stores) == 0 {
+		// Reset the backing array so the slice does not grow without
+		// bound as the window slides.
+		q.stores = q.stores[:0:cap(q.stores)]
+	}
+}
+
+// LoadMayIssue reports whether a load with sequence number seq can access
+// memory at the given cycle: every older store must have a known address
+// by then. When it returns false the Conflicts counter is incremented.
+func (q *LSQ) LoadMayIssue(seq uint64, cycle int64) bool {
+	for i := range q.stores {
+		s := &q.stores[i]
+		if s.inst.Seq >= seq {
+			break
+		}
+		if !s.issued || s.addrReady > cycle {
+			q.Conflicts++
+			return false
+		}
+	}
+	return true
+}
+
+// Forward checks whether a load at seq reading addr hits an older
+// in-flight store to the same 8-byte word, returning the youngest such
+// store. The caller decides whether the store's data is available (the
+// store may have issued its address before its data was produced). Call
+// only after LoadMayIssue returned true.
+func (q *LSQ) Forward(seq uint64, addr uint64) (*isa.Inst, bool) {
+	for i := len(q.stores) - 1; i >= 0; i-- {
+		s := &q.stores[i]
+		if s.inst.Seq >= seq {
+			continue
+		}
+		if s.inst.Addr>>3 == addr>>3 {
+			q.Forwards++
+			return s.inst, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,131 @@
+package lsq
+
+import (
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+func store(seq uint64, addr uint64) *isa.Inst {
+	return &isa.Inst{Seq: seq, Class: isa.Store, Addr: addr, Src2: 5}
+}
+
+func TestLoadBlockedByUnknownStoreAddress(t *testing.T) {
+	q := New(32)
+	s := store(5, 0x100)
+	q.AddStore(s)
+	if q.LoadMayIssue(10, 100) {
+		t.Fatal("load issued past store with unknown address")
+	}
+	if q.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", q.Conflicts)
+	}
+	q.StoreIssued(s, 50)
+	if q.LoadMayIssue(10, 49) {
+		t.Fatal("load issued before store address known")
+	}
+	if !q.LoadMayIssue(10, 50) {
+		t.Fatal("load blocked after store address known")
+	}
+}
+
+func TestOlderLoadsUnaffected(t *testing.T) {
+	q := New(32)
+	q.AddStore(store(20, 0x100))
+	if !q.LoadMayIssue(10, 0) {
+		t.Fatal("load older than store was blocked")
+	}
+}
+
+func TestForwardMatchesWordGranularity(t *testing.T) {
+	q := New(32)
+	s := store(5, 0x104)
+	q.AddStore(s)
+	q.StoreIssued(s, 3)
+	if _, ok := q.Forward(10, 0x100); !ok {
+		t.Fatal("same 8-byte word did not forward")
+	}
+	got, ok := q.Forward(10, 0x107)
+	if !ok || got != s {
+		t.Fatalf("Forward = (%v,%v), want the store", got, ok)
+	}
+	if _, ok := q.Forward(10, 0x108); ok {
+		t.Fatal("different word forwarded")
+	}
+	if _, ok := q.Forward(3, 0x104); ok {
+		t.Fatal("older load forwarded from younger store")
+	}
+}
+
+func TestForwardPicksYoungestOlderStore(t *testing.T) {
+	q := New(32)
+	s1, s2 := store(1, 0x100), store(2, 0x100)
+	q.AddStore(s1)
+	q.AddStore(s2)
+	got, ok := q.Forward(5, 0x100)
+	if !ok || got != s2 {
+		t.Fatalf("Forward = (%v,%v), want youngest store", got, ok)
+	}
+}
+
+func TestForwardWorksBeforeStoreIssue(t *testing.T) {
+	// The paper's split-store model: a store's address may be unknown,
+	// but Forward is only legal after LoadMayIssue, i.e. all older
+	// store addresses known. Forward itself matches by the trace
+	// address regardless of issue state (the caller gates on data
+	// readiness).
+	q := New(32)
+	s := store(1, 0x200)
+	q.AddStore(s)
+	if _, ok := q.Forward(5, 0x200); !ok {
+		t.Fatal("forward did not match in-flight store")
+	}
+}
+
+func TestCommitOrder(t *testing.T) {
+	q := New(32)
+	s1, s2 := store(1, 0x10), store(2, 0x20)
+	q.AddStore(s1)
+	q.AddStore(s2)
+	q.CommitStore(s1)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after one commit", q.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order commit did not panic")
+		}
+	}()
+	q.CommitStore(s1) // wrong: head is s2
+}
+
+func TestStoreIssuedUnknownPanics(t *testing.T) {
+	q := New(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StoreIssued for unknown store did not panic")
+		}
+	}()
+	q.StoreIssued(store(9, 0), 1)
+}
+
+func TestManyStoresWindowSlides(t *testing.T) {
+	q := New(8)
+	pending := make([]*isa.Inst, 0, 8)
+	for i := uint64(0); i < 1000; i++ {
+		s := store(i, uint64(i)*8)
+		q.AddStore(s)
+		q.StoreIssued(s, int64(i))
+		pending = append(pending, s)
+		if len(pending) > 4 {
+			q.CommitStore(pending[0])
+			pending = pending[1:]
+		}
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if !q.LoadMayIssue(2000, 1000) {
+		t.Fatal("load blocked although all addresses known")
+	}
+}

@@ -1,0 +1,180 @@
+// Package metrics computes the paper's evaluation metrics: IPC and
+// harmonic means, IPC loss relative to a baseline, normalized power and
+// energy of the issue queue, and whole-processor energy-delay and
+// energy-delay² products under the paper's assumption that the issue queue
+// contributes 23% of total chip power in the baseline configuration
+// (Wilcox & Manne's Alpha analysis, the paper's reference [23]).
+package metrics
+
+import "fmt"
+
+// IQShareOfChipPower is the paper's assumption for the baseline issue
+// queue's contribution to total chip power.
+const IQShareOfChipPower = 0.23
+
+// Run is the outcome of simulating one benchmark under one configuration.
+type Run struct {
+	Benchmark string
+	Config    string
+	Insts     uint64
+	Cycles    uint64
+	// IQEnergy is the issue-logic energy in picojoules (both domains).
+	IQEnergy float64
+}
+
+// IPC returns instructions per cycle.
+func (r Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// IQPower returns the issue-logic power in pJ/cycle.
+func (r Run) IQPower() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.IQEnergy / float64(r.Cycles)
+}
+
+// HarmonicMeanIPC returns the harmonic mean of the runs' IPCs, the mean
+// the paper reports (HARMEAN bars in Figures 7 and 8).
+func HarmonicMeanIPC(runs []Run) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range runs {
+		ipc := r.IPC()
+		if ipc <= 0 {
+			return 0
+		}
+		sum += 1 / ipc
+	}
+	return float64(len(runs)) / sum
+}
+
+// IPCLoss returns the fractional IPC loss of cfg relative to base for the
+// same benchmark (positive = slower).
+func IPCLoss(base, cfg Run) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return 1 - cfg.IPC()/b
+}
+
+// ChipEnergy estimates whole-processor energy for a run: the simulated
+// issue-queue energy plus a rest-of-chip component. The rest of the chip
+// is modeled as a constant power draw calibrated from the baseline run of
+// the same benchmark so that the baseline issue queue accounts for
+// IQShareOfChipPower of total power, exactly the paper's procedure.
+func ChipEnergy(baseline, r Run) float64 {
+	restPower := baseline.IQPower() * (1 - IQShareOfChipPower) / IQShareOfChipPower
+	return r.IQEnergy + restPower*float64(r.Cycles)
+}
+
+// EnergyDelay returns the whole-processor energy-delay product, with chip
+// energy calibrated against the baseline run (see ChipEnergy).
+func EnergyDelay(baseline, r Run) float64 {
+	return ChipEnergy(baseline, r) * float64(r.Cycles)
+}
+
+// EnergyDelay2 returns the whole-processor energy-delay² product.
+func EnergyDelay2(baseline, r Run) float64 {
+	return EnergyDelay(baseline, r) * float64(r.Cycles)
+}
+
+// Normalized divides metric values by the baseline's value; the paper
+// normalizes every power-efficiency figure to IQ_64_64.
+func Normalized(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return value / base
+}
+
+// SuiteAggregate summarizes one configuration over a suite: mean of
+// per-benchmark normalized metrics (the paper's per-suite bars).
+type SuiteAggregate struct {
+	Config string
+	// HMeanIPC is the harmonic mean IPC.
+	HMeanIPC float64
+	// Loss is the harmonic-mean IPC loss versus the reference config.
+	Loss float64
+	// Power, Energy, ED, ED2 are normalized to the baseline config
+	// (arithmetic mean of per-benchmark normalized values).
+	Power, Energy, ED, ED2 float64
+}
+
+// Aggregate builds a SuiteAggregate for cfgRuns given the per-benchmark
+// reference runs (for IPC loss) and baseline runs (for normalization).
+// The three slices must be parallel: index i refers to the same benchmark.
+func Aggregate(config string, reference, baseline, cfgRuns []Run) (SuiteAggregate, error) {
+	if len(reference) != len(cfgRuns) || len(baseline) != len(cfgRuns) {
+		return SuiteAggregate{}, fmt.Errorf("metrics: mismatched run sets (%d/%d/%d)",
+			len(reference), len(baseline), len(cfgRuns))
+	}
+	agg := SuiteAggregate{Config: config}
+	agg.HMeanIPC = HarmonicMeanIPC(cfgRuns)
+	refHM := HarmonicMeanIPC(reference)
+	if refHM > 0 {
+		agg.Loss = 1 - agg.HMeanIPC/refHM
+	}
+	n := float64(len(cfgRuns))
+	for i, r := range cfgRuns {
+		if reference[i].Benchmark != r.Benchmark || baseline[i].Benchmark != r.Benchmark {
+			return SuiteAggregate{}, fmt.Errorf("metrics: benchmark mismatch at %d (%s/%s/%s)",
+				i, reference[i].Benchmark, baseline[i].Benchmark, r.Benchmark)
+		}
+		b := baseline[i]
+		agg.Power += Normalized(b.IQPower(), r.IQPower()) / n
+		agg.Energy += Normalized(b.IQEnergy, r.IQEnergy) / n
+		agg.ED += Normalized(EnergyDelay(b, b), EnergyDelay(b, r)) / n
+		agg.ED2 += Normalized(EnergyDelay2(b, b), EnergyDelay2(b, r)) / n
+	}
+	return agg, nil
+}
+
+// EnergyDelayAtCycleTime evaluates ED with the run's clock period scaled
+// by relCycle (<1 = faster clock). The paper's conclusion argues the
+// reduced issue-queue complexity of the distributed schemes may enable a
+// shorter cycle time but leaves it unquantified; this function supports
+// that what-if analysis. Dynamic energy per event is held constant (same
+// capacitances and supply), so only the delay term scales.
+func EnergyDelayAtCycleTime(baseline, r Run, relCycle float64) float64 {
+	return ChipEnergy(baseline, r) * float64(r.Cycles) * relCycle
+}
+
+// EnergyDelay2AtCycleTime is the ED² counterpart (delay² scales by
+// relCycle²).
+func EnergyDelay2AtCycleTime(baseline, r Run, relCycle float64) float64 {
+	return EnergyDelayAtCycleTime(baseline, r, relCycle) * float64(r.Cycles) * relCycle
+}
+
+// BreakEvenCycleTimeED2 returns the relative cycle time at which the
+// run's whole-processor ED² equals the baseline's: the clock advantage
+// the simplified issue logic must deliver to break even. Values above 1
+// mean the run already wins at equal clocks.
+func BreakEvenCycleTimeED2(baseline, r Run) float64 {
+	eb := ChipEnergy(baseline, baseline) * float64(baseline.Cycles) * float64(baseline.Cycles)
+	er := ChipEnergy(baseline, r) * float64(r.Cycles) * float64(r.Cycles)
+	if er == 0 {
+		return 0
+	}
+	// er * t² = eb  =>  t = sqrt(eb/er)
+	return sqrtf(eb / er)
+}
+
+// sqrtf avoids importing math for one call site.
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func run(bench string, insts, cycles uint64, energy float64) Run {
+	return Run{Benchmark: bench, Insts: insts, Cycles: cycles, IQEnergy: energy}
+}
+
+func TestIPCAndPower(t *testing.T) {
+	r := run("x", 200, 100, 500)
+	if r.IPC() != 2.0 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	if r.IQPower() != 5.0 {
+		t.Fatalf("IQPower = %v", r.IQPower())
+	}
+	var z Run
+	if z.IPC() != 0 || z.IQPower() != 0 {
+		t.Fatal("zero-cycle run should have zero rates")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	runs := []Run{run("a", 100, 100, 0), run("b", 300, 100, 0)} // IPC 1 and 3
+	hm := HarmonicMeanIPC(runs)
+	want := 2.0 / (1.0/1 + 1.0/3)
+	if math.Abs(hm-want) > 1e-12 {
+		t.Fatalf("HM = %v, want %v", hm, want)
+	}
+	if HarmonicMeanIPC(nil) != 0 {
+		t.Fatal("HM of empty set should be 0")
+	}
+	if HarmonicMeanIPC([]Run{run("a", 0, 100, 0)}) != 0 {
+		t.Fatal("HM with a zero-IPC member should be 0")
+	}
+}
+
+func TestIPCLoss(t *testing.T) {
+	base := run("a", 200, 100, 0) // IPC 2
+	cfg := run("a", 150, 100, 0)  // IPC 1.5
+	if got := IPCLoss(base, cfg); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("loss = %v, want 0.25", got)
+	}
+}
+
+func TestChipEnergyCalibration(t *testing.T) {
+	// In the baseline run itself, the issue queue must account for
+	// exactly 23% of chip energy.
+	b := run("a", 1000, 500, 2300)
+	chip := ChipEnergy(b, b)
+	if math.Abs(b.IQEnergy/chip-IQShareOfChipPower) > 1e-9 {
+		t.Fatalf("baseline IQ share = %v, want %v", b.IQEnergy/chip, IQShareOfChipPower)
+	}
+	// A config with half the IQ energy and the same cycles saves only
+	// 23%-scaled energy.
+	r := run("a", 1000, 500, 1150)
+	ratio := ChipEnergy(b, r) / chip
+	want := 0.23*0.5 + 0.77
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("chip ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestEDPenalizesSlowdown(t *testing.T) {
+	b := run("a", 1000, 500, 2300)
+	// Config: 40% the IQ energy but 20% more cycles.
+	r := run("a", 1000, 600, 0.4*2300)
+	ed := Normalized(EnergyDelay(b, b), EnergyDelay(b, r))
+	ed2 := Normalized(EnergyDelay2(b, b), EnergyDelay2(b, r))
+	if ed2 <= ed {
+		t.Fatalf("ED² (%v) must penalize delay more than ED (%v)", ed2, ed)
+	}
+	if ed <= 0.6 {
+		t.Fatalf("ED %v implausibly low given 20%% slowdown", ed)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	ref := []Run{run("a", 200, 100, 0), run("b", 400, 100, 0)}
+	base := []Run{run("a", 190, 100, 1000), run("b", 380, 100, 1000)}
+	cfg := []Run{run("a", 180, 100, 250), run("b", 360, 100, 250)}
+	agg, err := Aggregate("X", ref, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Config != "X" {
+		t.Fatal("config name lost")
+	}
+	wantHM := HarmonicMeanIPC(cfg)
+	if agg.HMeanIPC != wantHM {
+		t.Fatalf("HM = %v, want %v", agg.HMeanIPC, wantHM)
+	}
+	// Same cycles, 1/4 energy: normalized power and energy = 0.25.
+	if math.Abs(agg.Power-0.25) > 1e-9 || math.Abs(agg.Energy-0.25) > 1e-9 {
+		t.Fatalf("power/energy = %v/%v, want 0.25", agg.Power, agg.Energy)
+	}
+	// Loss: HM ipc 2.4 vs ref 2.666...
+	if agg.Loss <= 0 || agg.Loss > 0.2 {
+		t.Fatalf("loss = %v", agg.Loss)
+	}
+	// ED (same cycles): chip energy ratio = 0.23*0.25+0.77.
+	wantED := 0.23*0.25 + 0.77
+	if math.Abs(agg.ED-wantED) > 1e-9 {
+		t.Fatalf("ED = %v, want %v", agg.ED, wantED)
+	}
+	if math.Abs(agg.ED2-wantED) > 1e-9 {
+		t.Fatalf("ED2 = %v, want %v (same cycles)", agg.ED2, wantED)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	a := []Run{run("a", 1, 1, 1)}
+	b := []Run{run("b", 1, 1, 1)}
+	if _, err := Aggregate("X", a, a, nil); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, err := Aggregate("X", a, b, a); err == nil {
+		t.Fatal("benchmark mismatch not detected")
+	}
+}
+
+func TestNormalizedZeroBase(t *testing.T) {
+	if Normalized(0, 5) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestCycleTimeScaling(t *testing.T) {
+	b := run("a", 1000, 500, 2300)
+	r := run("a", 1000, 550, 1150)
+	ed1 := EnergyDelayAtCycleTime(b, r, 1.0)
+	if math.Abs(ed1-EnergyDelay(b, r)) > 1e-9 {
+		t.Fatal("relCycle=1 must match EnergyDelay")
+	}
+	ed90 := EnergyDelayAtCycleTime(b, r, 0.9)
+	if math.Abs(ed90-0.9*ed1) > 1e-9 {
+		t.Fatal("ED must scale linearly with cycle time")
+	}
+	ed2 := EnergyDelay2AtCycleTime(b, r, 0.9)
+	if math.Abs(ed2-0.81*EnergyDelay2(b, r)) > 1e-6*ed2 {
+		t.Fatal("ED² must scale quadratically with cycle time")
+	}
+}
+
+func TestBreakEvenCycleTime(t *testing.T) {
+	b := run("a", 1000, 500, 2300)
+	// Same energy profile, 10% more cycles: needs a faster clock.
+	slower := run("a", 1000, 550, 2300*1.1/1.0)
+	be := BreakEvenCycleTimeED2(b, slower)
+	if be >= 1.0 {
+		t.Fatalf("slower run break-even %v, want < 1", be)
+	}
+	// At the break-even clock, ED² matches the baseline.
+	got := EnergyDelay2AtCycleTime(b, slower, be)
+	want := EnergyDelay2(b, b)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("break-even inconsistent: %v vs %v", got, want)
+	}
+	// A strictly better run breaks even above 1.
+	better := run("a", 1000, 450, 1000)
+	if BreakEvenCycleTimeED2(b, better) <= 1.0 {
+		t.Fatal("better run should break even above 1")
+	}
+}
+
+func TestSqrtf(t *testing.T) {
+	for _, x := range []float64{0.25, 1, 2, 100, 1e6} {
+		got := sqrtf(x)
+		if math.Abs(got-math.Sqrt(x)) > 1e-9*math.Sqrt(x) {
+			t.Fatalf("sqrtf(%v) = %v", x, got)
+		}
+	}
+	if sqrtf(-1) != 0 || sqrtf(0) != 0 {
+		t.Fatal("non-positive handling")
+	}
+}

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"distiq/internal/isa"
+)
+
+// Tracer observes per-instruction pipeline events. Implementations must be
+// cheap; the pipeline invokes them inline. A nil tracer costs one branch
+// per event.
+type Tracer interface {
+	// OnFetch fires when an instruction enters the fetch queue.
+	OnFetch(cycle int64, in *isa.Inst)
+	// OnDispatch fires when it is renamed and placed in the issue logic.
+	OnDispatch(cycle int64, in *isa.Inst)
+	// OnIssue fires when it begins execution.
+	OnIssue(cycle int64, in *isa.Inst)
+	// OnWriteback fires when its result becomes architecturally complete.
+	OnWriteback(cycle int64, in *isa.Inst)
+	// OnCommit fires when it retires.
+	OnCommit(cycle int64, in *isa.Inst)
+}
+
+// SetTracer installs (or, with nil, removes) a tracer.
+func (p *Pipeline) SetTracer(t Tracer) { p.tracer = t }
+
+// TextTracer writes one line per pipeline event, pipeview-style:
+//
+//	cycle=104 C seq=17 pc=0x400044 IntALU q0
+//
+// Events outside [From, To) are suppressed (zero To means no upper bound).
+type TextTracer struct {
+	W        io.Writer
+	From, To int64
+}
+
+func (t *TextTracer) in(cycle int64) bool {
+	return cycle >= t.From && (t.To == 0 || cycle < t.To)
+}
+
+func (t *TextTracer) line(cycle int64, stage string, in *isa.Inst) {
+	if !t.in(cycle) {
+		return
+	}
+	fmt.Fprintf(t.W, "cycle=%d %s seq=%d pc=%#x %s q%d\n",
+		cycle, stage, in.Seq, in.PC, in.Class, in.QueueID)
+}
+
+// OnFetch implements Tracer.
+func (t *TextTracer) OnFetch(cycle int64, in *isa.Inst) { t.line(cycle, "F", in) }
+
+// OnDispatch implements Tracer.
+func (t *TextTracer) OnDispatch(cycle int64, in *isa.Inst) { t.line(cycle, "D", in) }
+
+// OnIssue implements Tracer.
+func (t *TextTracer) OnIssue(cycle int64, in *isa.Inst) { t.line(cycle, "I", in) }
+
+// OnWriteback implements Tracer.
+func (t *TextTracer) OnWriteback(cycle int64, in *isa.Inst) { t.line(cycle, "W", in) }
+
+// OnCommit implements Tracer.
+func (t *TextTracer) OnCommit(cycle int64, in *isa.Inst) { t.line(cycle, "C", in) }

@@ -1,0 +1,64 @@
+// Package power models the dynamic energy of the issue logic. It follows
+// the paper's methodology (Wattch + CACTI 3.0 at 0.10 µm): the simulator
+// counts microarchitectural events, and an analytic array model converts
+// each event into energy based on the geometry of the structure involved.
+// Leakage is excluded, as in the original study.
+//
+// Events are counted by the issue-queue schemes and the pipeline; the Calc
+// type owns the per-event energies derived from a scheme's Geometry and
+// produces the labeled breakdowns of Figures 9-11.
+package power
+
+import "distiq/internal/isa"
+
+// Events counts the energy-relevant activity of one issue-scheme instance
+// (one domain) during a simulation.
+type Events struct {
+	// CAM baseline activity.
+	WakeupBroadcasts uint64 // result-tag broadcasts into the queue
+	WakeupCAMCells   uint64 // unready operand comparators exercised
+	IQWrites         uint64 // payload RAM writes at dispatch
+	IQReads          uint64 // payload RAM reads at issue
+
+	// Selection activity (CAM baseline and MixBUFF).
+	SelectOps     uint64 // selection operations performed
+	SelectEntries uint64 // total entries examined across selections
+
+	// Distributed-scheme activity.
+	QRenameReads, QRenameWrites uint64 // queue-map table
+	RegsReadyReads              uint64 // ready-bit table lookups
+	FIFOReads, FIFOWrites       uint64 // FIFO queue pop/push
+	BuffReads, BuffWrites       uint64 // MixBUFF buffer read/write
+	ChainReads, ChainWrites     uint64 // chain latency table whole-table ops
+	SelRegWrites                uint64 // last-selected-instruction register
+
+	// MuxIssues counts instructions driven to each functional-unit kind
+	// through the issue crossbar.
+	MuxIssues [isa.NumFUKinds]uint64
+}
+
+// Add accumulates o into e.
+func (e *Events) Add(o *Events) {
+	e.WakeupBroadcasts += o.WakeupBroadcasts
+	e.WakeupCAMCells += o.WakeupCAMCells
+	e.IQWrites += o.IQWrites
+	e.IQReads += o.IQReads
+	e.SelectOps += o.SelectOps
+	e.SelectEntries += o.SelectEntries
+	e.QRenameReads += o.QRenameReads
+	e.QRenameWrites += o.QRenameWrites
+	e.RegsReadyReads += o.RegsReadyReads
+	e.FIFOReads += o.FIFOReads
+	e.FIFOWrites += o.FIFOWrites
+	e.BuffReads += o.BuffReads
+	e.BuffWrites += o.BuffWrites
+	e.ChainReads += o.ChainReads
+	e.ChainWrites += o.ChainWrites
+	e.SelRegWrites += o.SelRegWrites
+	for k := range e.MuxIssues {
+		e.MuxIssues[k] += o.MuxIssues[k]
+	}
+}
+
+// Reset zeroes all counters (used at the warmup boundary).
+func (e *Events) Reset() { *e = Events{} }

@@ -1,0 +1,116 @@
+// Package rename implements register renaming for one register-file
+// domain: the logical-to-physical map table, the physical-register free
+// list and the per-physical-register availability ("regs_ready") state
+// consulted by the issue schemes.
+//
+// Readiness is tracked as the cycle at which the register's value becomes
+// usable through the bypass network: a producer issuing at cycle c with
+// latency L makes its destination usable at cycle c+L, so a dependent
+// instruction may issue at c+L (back-to-back for single-cycle producers).
+package rename
+
+import (
+	"fmt"
+
+	"distiq/internal/isa"
+)
+
+// FarFuture marks a register whose producer has not issued yet; ReadyAt
+// returns it for such registers.
+const FarFuture = int64(1) << 62
+
+// RegFile is the rename state of one domain (integer or floating point).
+type RegFile struct {
+	domain isa.Domain
+
+	mapTable   []int16 // logical -> physical
+	freeList   []int16 // stack of free physical registers
+	readyCycle []int64 // per physical register
+
+	// Allocs and Frees count lifetime events for sanity checks.
+	Allocs, Frees uint64
+}
+
+// New returns a RegFile with logicals logical registers initially mapped to
+// physical registers [0, logicals), all ready, and the rest free.
+func New(domain isa.Domain, logicals, physicals int) *RegFile {
+	if physicals <= logicals {
+		panic("rename: need more physical than logical registers")
+	}
+	rf := &RegFile{
+		domain:     domain,
+		mapTable:   make([]int16, logicals),
+		freeList:   make([]int16, 0, physicals-logicals),
+		readyCycle: make([]int64, physicals),
+	}
+	for i := range rf.mapTable {
+		rf.mapTable[i] = int16(i)
+	}
+	for p := physicals - 1; p >= logicals; p-- {
+		rf.freeList = append(rf.freeList, int16(p))
+	}
+	return rf
+}
+
+// NewDefault returns the Table 1 register file for the domain: 32 logical,
+// 160 physical registers.
+func NewDefault(domain isa.Domain) *RegFile {
+	return New(domain, isa.NumLogicalRegs, isa.NumPhysicalRegs)
+}
+
+// FreeCount returns the number of free physical registers.
+func (rf *RegFile) FreeCount() int { return len(rf.freeList) }
+
+// Lookup returns the physical register currently mapped to logical reg.
+func (rf *RegFile) Lookup(reg int16) int16 { return rf.mapTable[reg] }
+
+// CanAllocate reports whether a destination register can be renamed now.
+func (rf *RegFile) CanAllocate() bool { return len(rf.freeList) > 0 }
+
+// Allocate renames a destination: it maps logical reg to a fresh physical
+// register (initially not ready) and returns the new physical register and
+// the previous mapping (to be freed at commit). It panics if the free list
+// is empty; call CanAllocate first.
+func (rf *RegFile) Allocate(reg int16) (pdest, pold int16) {
+	if len(rf.freeList) == 0 {
+		panic(fmt.Sprintf("rename(%v): free list empty", rf.domain))
+	}
+	pdest = rf.freeList[len(rf.freeList)-1]
+	rf.freeList = rf.freeList[:len(rf.freeList)-1]
+	pold = rf.mapTable[reg]
+	rf.mapTable[reg] = pdest
+	rf.readyCycle[pdest] = FarFuture
+	rf.Allocs++
+	return pdest, pold
+}
+
+// Undo reverses an Allocate performed this cycle (used when a later
+// in-order dispatch check fails): the map entry is restored and the
+// physical register returned to the free list.
+func (rf *RegFile) Undo(reg, pdest, pold int16) {
+	if rf.mapTable[reg] != pdest {
+		panic("rename: Undo out of order")
+	}
+	rf.mapTable[reg] = pold
+	rf.freeList = append(rf.freeList, pdest)
+	rf.readyCycle[pdest] = 0
+	rf.Allocs--
+}
+
+// Free returns a physical register to the free list (called at commit with
+// the instruction's previous mapping).
+func (rf *RegFile) Free(p int16) {
+	rf.freeList = append(rf.freeList, p)
+	rf.readyCycle[p] = 0
+	rf.Frees++
+}
+
+// SetReadyAt records that physical register p becomes usable at cycle c.
+func (rf *RegFile) SetReadyAt(p int16, c int64) { rf.readyCycle[p] = c }
+
+// ReadyAt returns the cycle physical register p becomes usable (a very
+// large value if its producer has not issued).
+func (rf *RegFile) ReadyAt(p int16) int64 { return rf.readyCycle[p] }
+
+// Ready reports whether p is usable at cycle c.
+func (rf *RegFile) Ready(p int16, c int64) bool { return rf.readyCycle[p] <= c }

@@ -1,0 +1,151 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distiq/internal/isa"
+)
+
+func TestInitialState(t *testing.T) {
+	rf := NewDefault(isa.IntDomain)
+	if got := rf.FreeCount(); got != isa.NumPhysicalRegs-isa.NumLogicalRegs {
+		t.Fatalf("free count = %d, want %d", got, isa.NumPhysicalRegs-isa.NumLogicalRegs)
+	}
+	for i := int16(0); i < isa.NumLogicalRegs; i++ {
+		if rf.Lookup(i) != i {
+			t.Fatalf("initial map[%d] = %d", i, rf.Lookup(i))
+		}
+		if !rf.Ready(rf.Lookup(i), 0) {
+			t.Fatalf("initial register %d not ready", i)
+		}
+	}
+}
+
+func TestAllocateRemaps(t *testing.T) {
+	rf := NewDefault(isa.FPDomain)
+	pdest, pold := rf.Allocate(5)
+	if pold != 5 {
+		t.Fatalf("pold = %d, want 5", pold)
+	}
+	if rf.Lookup(5) != pdest {
+		t.Fatalf("map[5] = %d, want %d", rf.Lookup(5), pdest)
+	}
+	if rf.Ready(pdest, 1000) {
+		t.Fatal("freshly allocated register is ready")
+	}
+	rf.SetReadyAt(pdest, 7)
+	if rf.Ready(pdest, 6) || !rf.Ready(pdest, 7) {
+		t.Fatal("ReadyAt boundary wrong")
+	}
+}
+
+func TestUndoRestores(t *testing.T) {
+	rf := NewDefault(isa.IntDomain)
+	before := rf.FreeCount()
+	pdest, pold := rf.Allocate(3)
+	rf.Undo(3, pdest, pold)
+	if rf.Lookup(3) != pold {
+		t.Fatal("Undo did not restore mapping")
+	}
+	if rf.FreeCount() != before {
+		t.Fatal("Undo did not restore free list")
+	}
+	if rf.Allocs != 0 {
+		t.Fatal("Undo did not revert alloc count")
+	}
+}
+
+func TestUndoOutOfOrderPanics(t *testing.T) {
+	rf := NewDefault(isa.IntDomain)
+	p1, o1 := rf.Allocate(3)
+	rf.Allocate(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Undo did not panic")
+		}
+	}()
+	rf.Undo(3, p1, o1)
+}
+
+func TestExhaustionAndFree(t *testing.T) {
+	rf := New(isa.IntDomain, 4, 8)
+	var olds []int16
+	for i := 0; i < 4; i++ {
+		if !rf.CanAllocate() {
+			t.Fatalf("ran out after %d allocs, want 4", i)
+		}
+		_, pold := rf.Allocate(int16(i % 4))
+		olds = append(olds, pold)
+	}
+	if rf.CanAllocate() {
+		t.Fatal("free list should be empty")
+	}
+	rf.Free(olds[0])
+	if !rf.CanAllocate() {
+		t.Fatal("free did not replenish")
+	}
+}
+
+func TestAllocatePanicsWhenEmpty(t *testing.T) {
+	rf := New(isa.IntDomain, 2, 3)
+	rf.Allocate(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("allocate on empty free list did not panic")
+		}
+	}()
+	rf.Allocate(1)
+}
+
+func TestNewPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with physicals <= logicals did not panic")
+		}
+	}()
+	New(isa.IntDomain, 32, 32)
+}
+
+func TestPropertyNoDoubleAllocation(t *testing.T) {
+	// Property: a physical register is never handed out twice while live.
+	rf := NewDefault(isa.IntDomain)
+	live := map[int16]bool{}
+	for i := int16(0); i < isa.NumLogicalRegs; i++ {
+		live[i] = true
+	}
+	if err := quick.Check(func(regRaw uint8) bool {
+		reg := int16(regRaw % isa.NumLogicalRegs)
+		if !rf.CanAllocate() {
+			return true
+		}
+		pdest, pold := rf.Allocate(reg)
+		if live[pdest] {
+			return false // double allocation
+		}
+		live[pdest] = true
+		delete(live, pold)
+		rf.Free(pold)
+		return true
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameChainDependence(t *testing.T) {
+	// Writing the same logical register twice gives distinct physical
+	// registers, so readers of the first value are unaffected.
+	rf := NewDefault(isa.IntDomain)
+	p1, _ := rf.Allocate(7)
+	rf.SetReadyAt(p1, 5)
+	p2, pold2 := rf.Allocate(7)
+	if p1 == p2 {
+		t.Fatal("same physical register for two writes")
+	}
+	if pold2 != p1 {
+		t.Fatalf("pold of second write = %d, want %d", pold2, p1)
+	}
+	if !rf.Ready(p1, 5) || rf.Ready(p2, 1000) {
+		t.Fatal("readiness confused between versions")
+	}
+}

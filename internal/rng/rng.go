@@ -1,0 +1,85 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic workload generators.
+//
+// The simulator's experiments must be bit-reproducible across runs, Go
+// versions and platforms, so we implement SplitMix64 (Steele, Lea, Flood,
+// OOPSLA 2014) ourselves instead of depending on math/rand, whose default
+// source and shuffling behaviour have changed between Go releases.
+package rng
+
+// Source is a deterministic SplitMix64 generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the generator to the given seed.
+func (s *Source) Seed(seed uint64) { s.state = seed }
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success.
+// Values are capped at max to keep tails bounded; p must be in (0, 1].
+func (s *Source) Geometric(p float64, max int) int {
+	if p >= 1 {
+		return 0
+	}
+	n := 0
+	for n < max && s.Float64() >= p {
+		n++
+	}
+	return n
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. It panics if weights is empty or sums to a
+// non-positive value.
+func (s *Source) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: Pick needs positive total weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,174 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, value %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	if err := quick.Check(func(seed uint64) bool {
+		s.Seed(seed)
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.Geometric(0.5, 8)
+		if v < 0 || v > 8 {
+			t.Fatalf("Geometric out of bounds: %d", v)
+		}
+	}
+	if v := s.Geometric(1.0, 8); v != 0 {
+		t.Fatalf("Geometric(1.0) = %d, want 0", v)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(19)
+	sum := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(0.5, 64)
+	}
+	mean := float64(sum) / n
+	// Mean of geometric(0.5) counting failures is (1-p)/p = 1.
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("Geometric(0.5) mean = %v, want ~1", mean)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	s := New(23)
+	counts := make([]int, 3)
+	const n = 90000
+	for i := 0; i < n; i++ {
+		counts[s.Pick([]float64{1, 2, 3})]++
+	}
+	// Expect roughly 1/6, 2/6, 3/6.
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < want[i]-0.02 || frac > want[i]+0.02 {
+			t.Fatalf("Pick weight %d frequency = %v, want ~%v", i, frac, want[i])
+		}
+	}
+}
+
+func TestPickZeroWeightNeverChosen(t *testing.T) {
+	s := New(29)
+	for i := 0; i < 10000; i++ {
+		if s.Pick([]float64{0, 1, 0}) != 1 {
+			t.Fatal("Pick chose a zero-weight index")
+		}
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick(nil) did not panic")
+		}
+	}()
+	New(1).Pick(nil)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}

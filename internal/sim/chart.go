@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bars renders the table as horizontal ASCII bar groups, one group per
+// row, one bar per column — a terminal rendition of the paper's grouped
+// bar figures. width is the character length of the longest bar.
+func (t Table) Bars(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	labelW := len(t.RowName)
+	for _, c := range t.Columns {
+		if len(c) > labelW {
+			labelW = len(c)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s\n", r.Label)
+		for ci, v := range r.Values {
+			col := ""
+			if ci < len(t.Columns) {
+				col = t.Columns[ci]
+			}
+			n := int(v / maxVal * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			if v > 0 && n == 0 {
+				n = 1 // nonzero values stay visible
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.3f\n", labelW, col, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+
+	"distiq/internal/core"
+	"distiq/internal/metrics"
+	"distiq/internal/trace"
+)
+
+// CycleTimeStudy quantifies the paper's closing argument: the reduced
+// complexity of the distributed issue queues "may enable a reduction of
+// the cycle time, which may significantly improve their energy-delay and
+// energy-delay² metrics with respect to the baseline". The paper leaves
+// this unevaluated ("out of the scope of this paper"); this extension
+// sweeps hypothetical clock advantages and reports, per suite, the
+// whole-processor ED² of IF_distr and MB_distr normalized to IQ_64_64,
+// plus the break-even clock each scheme needs.
+func CycleTimeStudy(s *Session) (Table, error) {
+	t := Table{
+		Title:   "Extension: ED^2 vs. hypothetical cycle-time advantage of the distributed schemes",
+		Note:    "normalized to IQ_64_64 at nominal clock; rows = relative cycle time of IF_distr/MB_distr",
+		RowName: "rel. cycle",
+		Columns: []string{"IF(INT)", "MB(INT)", "IF(FP)", "MB(FP)"},
+	}
+	base := core.Baseline64()
+	schemes := []core.Config{core.IFDistr(), core.MBDistr()}
+	suites := []trace.Suite{trace.SuiteInt, trace.SuiteFP}
+
+	for _, rel := range []float64{1.00, 0.95, 0.90, 0.85, 0.80} {
+		row := make([]float64, 0, 4)
+		for _, suite := range suites {
+			for _, cfg := range schemes {
+				v, err := s.meanED2AtCycle(suite, base, cfg, rel)
+				if err != nil {
+					return Table{}, err
+				}
+				row = append(row, v)
+			}
+		}
+		// Column order: IF(INT), MB(INT), IF(FP), MB(FP).
+		t.AddRow(fmt.Sprintf("%.2f", rel), row...)
+	}
+
+	// Break-even rows: the clock advantage needed for ED² parity.
+	beRow := make([]float64, 0, 4)
+	for _, suite := range suites {
+		for _, cfg := range schemes {
+			v, err := s.meanBreakEven(suite, base, cfg)
+			if err != nil {
+				return Table{}, err
+			}
+			beRow = append(beRow, v)
+		}
+	}
+	t.AddRow("break-even", beRow...)
+	return t, nil
+}
+
+func (s *Session) meanED2AtCycle(suite trace.Suite, base, cfg core.Config, rel float64) (float64, error) {
+	names := trace.Benchmarks(suite)
+	sum := 0.0
+	for _, b := range names {
+		br, err := s.Result(b, base)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.Result(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += metrics.EnergyDelay2AtCycleTime(br.Run, r.Run, rel) /
+			metrics.EnergyDelay2(br.Run, br.Run)
+	}
+	return sum / float64(len(names)), nil
+}
+
+func (s *Session) meanBreakEven(suite trace.Suite, base, cfg core.Config) (float64, error) {
+	names := trace.Benchmarks(suite)
+	sum := 0.0
+	for _, b := range names {
+		br, err := s.Result(b, base)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.Result(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sum += metrics.BreakEvenCycleTimeED2(br.Run, r.Run)
+	}
+	return sum / float64(len(names)), nil
+}

@@ -1,0 +1,120 @@
+// Package sim runs the paper's experiments: it drives the pipeline over
+// the synthetic SPEC2000 models under named issue-queue configurations,
+// assembles performance and energy results, and regenerates every table
+// and figure of the evaluation section.
+package sim
+
+import (
+	"fmt"
+
+	"distiq/internal/core"
+	"distiq/internal/isa"
+	"distiq/internal/metrics"
+	"distiq/internal/pipeline"
+	"distiq/internal/power"
+	"distiq/internal/trace"
+)
+
+// Options controls simulation length. The paper simulates 100M
+// instructions per benchmark after skipping initialization; the synthetic
+// workloads reach steady state much sooner, so the defaults are far
+// smaller while remaining stable to ~1%.
+type Options struct {
+	// Warmup instructions run before statistics collection starts
+	// (caches and predictors stay warm, counters reset).
+	Warmup uint64
+	// Instructions measured per run.
+	Instructions uint64
+}
+
+// DefaultOptions returns lengths suitable for regenerating all figures in
+// a few minutes.
+func DefaultOptions() Options {
+	return Options{Warmup: 20_000, Instructions: 100_000}
+}
+
+// QuickOptions returns lengths for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{Warmup: 5_000, Instructions: 20_000}
+}
+
+// Result is the outcome of one benchmark × configuration simulation.
+type Result struct {
+	metrics.Run
+	Stats pipeline.Stats
+	// IntBreakdown and FPBreakdown are the labeled issue-logic energy
+	// breakdowns per domain; Breakdown is their sum.
+	IntBreakdown, FPBreakdown, Breakdown power.Breakdown
+}
+
+// Run simulates one benchmark under one configuration.
+func Run(bench string, cfg core.Config, opt Options) (Result, error) {
+	model, err := trace.ByName(bench)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := trace.NewGenerator(model)
+	p, err := pipeline.New(pipeline.DefaultConfig(cfg), gen)
+	if err != nil {
+		return Result{}, err
+	}
+	p.Warmup(opt.Warmup)
+	p.Run(opt.Instructions)
+
+	st := p.Stats()
+	res := Result{Stats: st}
+	res.Benchmark = bench
+	res.Config = cfg.Name
+	res.Insts = st.Committed
+	res.Cycles = st.Cycles
+
+	intScheme := p.Scheme(isa.IntDomain)
+	fpScheme := p.Scheme(isa.FPDomain)
+	res.IntBreakdown = power.NewCalc(intScheme.Geometry()).Energy(intScheme.Events())
+	res.FPBreakdown = power.NewCalc(fpScheme.Geometry()).Energy(fpScheme.Events())
+	res.Breakdown = power.Breakdown{}
+	res.Breakdown.Add(res.IntBreakdown)
+	res.Breakdown.Add(res.FPBreakdown)
+	res.IQEnergy = res.Breakdown.Total()
+	return res, nil
+}
+
+// Session memoizes runs so figures sharing configurations (every figure
+// reuses the baselines) do not repeat work.
+type Session struct {
+	Opt   Options
+	cache map[string]Result
+}
+
+// NewSession returns a Session with the given options.
+func NewSession(opt Options) *Session {
+	return &Session{Opt: opt, cache: make(map[string]Result)}
+}
+
+// Result returns the memoized run for bench × cfg, simulating on first use.
+func (s *Session) Result(bench string, cfg core.Config) (Result, error) {
+	key := bench + "|" + cfg.Name
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := Run(bench, cfg, s.Opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s under %s: %w", bench, cfg.Name, err)
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// SuiteRuns returns the metrics.Run values of a whole suite under cfg, in
+// figure order.
+func (s *Session) SuiteRuns(suite trace.Suite, cfg core.Config) ([]metrics.Run, error) {
+	var runs []metrics.Run
+	for _, b := range trace.Benchmarks(suite) {
+		r, err := s.Result(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r.Run)
+	}
+	return runs, nil
+}

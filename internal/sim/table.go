@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one row per benchmark or
+// configuration, one column per series, matching a figure of the paper.
+type Table struct {
+	Title   string
+	Note    string
+	RowName string // header of the row-label column
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one labeled row of values.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, TableRow{Label: label, Values: values})
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	width := len(t.RowName)
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, t.RowName)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row,
+// for spreadsheet import or regression tracking.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.RowName))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvEscape quotes fields containing separators or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

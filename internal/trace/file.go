@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"distiq/internal/isa"
+)
+
+// Binary trace files let a workload be captured once and replayed exactly
+// — the equivalent of SimpleScalar's EIO traces in the paper's framework.
+// A file holds a header (magic, version, source benchmark name) followed
+// by one variable-length record per instruction.
+//
+// Record layout (all varint unless noted):
+//
+//	class  (1 byte)
+//	flags  (1 byte: bit0 src1, bit1 src2, bit2 dest, bit3 src1FP,
+//	        bit4 src2FP, bit5 destFP, bit6 taken)
+//	src1, src2, dest register indices (1 byte each, present per flags)
+//	pc, addr, target (uvarint; addr only for memory ops, target only for
+//	        branches)
+//
+// Sequence numbers are not stored; the reader assigns them in order, so a
+// finite file can be replayed cyclically for arbitrarily long simulations.
+
+const (
+	traceMagic   = "DIQT"
+	traceVersion = 1
+)
+
+// Flag bits of a trace record.
+const (
+	flagSrc1 = 1 << iota
+	flagSrc2
+	flagDest
+	flagSrc1FP
+	flagSrc2FP
+	flagDestFP
+	flagTaken
+)
+
+// Writer streams instructions into a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   []byte
+}
+
+// NewWriter writes a header for the named benchmark and returns a Writer.
+func NewWriter(w io.Writer, benchmark string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	if len(benchmark) > 255 {
+		return nil, fmt.Errorf("trace: benchmark name too long")
+	}
+	if err := bw.WriteByte(byte(len(benchmark))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(benchmark); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, binary.MaxVarintLen64)}, nil
+}
+
+func (t *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(t.buf, v)
+	_, err := t.w.Write(t.buf[:n])
+	return err
+}
+
+// Write appends one instruction record.
+func (t *Writer) Write(in *isa.Inst) error {
+	if err := t.w.WriteByte(byte(in.Class)); err != nil {
+		return err
+	}
+	var flags byte
+	if in.Src1 != isa.NoReg {
+		flags |= flagSrc1
+	}
+	if in.Src2 != isa.NoReg {
+		flags |= flagSrc2
+	}
+	if in.Dest != isa.NoReg {
+		flags |= flagDest
+	}
+	if in.Src1FP {
+		flags |= flagSrc1FP
+	}
+	if in.Src2FP {
+		flags |= flagSrc2FP
+	}
+	if in.DestFP {
+		flags |= flagDestFP
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	for _, r := range []int16{in.Src1, in.Src2, in.Dest} {
+		if r != isa.NoReg {
+			if err := t.w.WriteByte(byte(r)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.uvarint(in.PC); err != nil {
+		return err
+	}
+	if in.Class.IsMem() {
+		if err := t.uvarint(in.Addr); err != nil {
+			return err
+		}
+	}
+	if in.Class == isa.Branch {
+		if err := t.uvarint(in.Target); err != nil {
+			return err
+		}
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Capture generates n instructions from a model and writes them to w.
+func Capture(w io.Writer, m Model, n int) error {
+	tw, err := NewWriter(w, m.Name)
+	if err != nil {
+		return err
+	}
+	g := NewGenerator(m)
+	var in isa.Inst
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		if err := tw.Write(&in); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reader replays a trace file. It implements the pipeline's Fetcher: when
+// the file is exhausted it seeks back to the first record and continues,
+// assigning monotonically increasing sequence numbers, so finite captures
+// drive arbitrarily long simulations.
+type Reader struct {
+	src       io.ReadSeeker
+	r         *bufio.Reader
+	benchmark string
+	dataStart int64
+	seq       uint64
+	records   uint64
+	// Wraps counts how many times the reader cycled back to the start.
+	Wraps uint64
+}
+
+// NewReader validates the header and positions the reader at the first
+// record.
+func NewReader(src io.ReadSeeker) (*Reader, error) {
+	r := bufio.NewReader(src)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	return &Reader{
+		src:       src,
+		r:         r,
+		benchmark: string(name),
+		dataStart: int64(4 + 1 + 1 + int(nameLen)),
+	}, nil
+}
+
+// Benchmark returns the benchmark name recorded in the header.
+func (t *Reader) Benchmark() string { return t.benchmark }
+
+// Records returns how many records have been read (across wraps).
+func (t *Reader) Records() uint64 { return t.records }
+
+// Next implements the pipeline Fetcher interface. It panics on a corrupt
+// file (a trace-driven simulator cannot proceed meaningfully); use
+// ReadInst for error-returning access.
+func (t *Reader) Next(in *isa.Inst) {
+	if err := t.ReadInst(in); err != nil {
+		panic(fmt.Sprintf("trace: replay failed: %v", err))
+	}
+}
+
+// ReadInst reads the next record, wrapping at end of file.
+func (t *Reader) ReadInst(in *isa.Inst) error {
+	classB, err := t.r.ReadByte()
+	if errors.Is(err, io.EOF) {
+		if t.records == 0 {
+			return fmt.Errorf("trace: empty trace")
+		}
+		if _, err := t.src.Seek(t.dataStart, io.SeekStart); err != nil {
+			return err
+		}
+		t.r.Reset(t.src)
+		t.Wraps++
+		classB, err = t.r.ReadByte()
+		if err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	if isa.Class(classB) >= isa.NumClasses {
+		return fmt.Errorf("trace: bad class %d", classB)
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+
+	in.Seq = t.seq
+	t.seq++
+	in.Class = isa.Class(classB)
+	in.Src1, in.Src2, in.Dest = isa.NoReg, isa.NoReg, isa.NoReg
+	in.Src1FP = flags&flagSrc1FP != 0
+	in.Src2FP = flags&flagSrc2FP != 0
+	in.DestFP = flags&flagDestFP != 0
+	in.Taken = flags&flagTaken != 0
+	in.Addr, in.Target = 0, 0
+
+	if flags&flagSrc1 != 0 {
+		if in.Src1, err = t.reg(); err != nil {
+			return err
+		}
+	}
+	if flags&flagSrc2 != 0 {
+		if in.Src2, err = t.reg(); err != nil {
+			return err
+		}
+	}
+	if flags&flagDest != 0 {
+		if in.Dest, err = t.reg(); err != nil {
+			return err
+		}
+	}
+	if in.PC, err = binary.ReadUvarint(t.r); err != nil {
+		return unexpectedEOF(err)
+	}
+	if in.Class.IsMem() {
+		if in.Addr, err = binary.ReadUvarint(t.r); err != nil {
+			return unexpectedEOF(err)
+		}
+	}
+	if in.Class == isa.Branch {
+		if in.Target, err = binary.ReadUvarint(t.r); err != nil {
+			return unexpectedEOF(err)
+		}
+	}
+	in.ResetMicro()
+	t.records++
+	return nil
+}
+
+func (t *Reader) reg() (int16, error) {
+	b, err := t.r.ReadByte()
+	if err != nil {
+		return 0, unexpectedEOF(err)
+	}
+	if int(b) >= isa.NumLogicalRegs {
+		return 0, fmt.Errorf("trace: bad register %d", b)
+	}
+	return int16(b), nil
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}

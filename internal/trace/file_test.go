@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+func captureBuf(t *testing.T, bench string, n int) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Capture(&buf, MustByName(bench), n); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	const n = 5000
+	buf := captureBuf(t, "equake", n)
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark() != "equake" {
+		t.Fatalf("benchmark = %q", r.Benchmark())
+	}
+	g := NewGenerator(MustByName("equake"))
+	var want, got isa.Inst
+	for i := 0; i < n; i++ {
+		g.Next(&want)
+		if err := r.ReadInst(&got); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want != got {
+			t.Fatalf("record %d mismatch:\nwant %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestTraceWrapAround(t *testing.T) {
+	const n = 100
+	buf := captureBuf(t, "gzip", n)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	for i := 0; i < 3*n; i++ {
+		if err := r.ReadInst(&in); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if in.Seq != uint64(i) {
+			t.Fatalf("seq %d at read %d: wraps must renumber", in.Seq, i)
+		}
+	}
+	if r.Wraps != 2 {
+		t.Fatalf("wraps = %d, want 2", r.Wraps)
+	}
+	if r.Records() != 3*n {
+		t.Fatalf("records = %d", r.Records())
+	}
+}
+
+func TestTraceBadInputs(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("BAD!xxxx"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("DI"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Wrong version.
+	bad := append([]byte(traceMagic), 99, 0)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Valid header, no records: first read must error (empty trace).
+	empty := append([]byte(traceMagic), traceVersion, 1, 'x')
+	r, err := NewReader(bytes.NewReader(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	if err := r.ReadInst(&in); err == nil {
+		t.Fatal("empty trace readable")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	buf := captureBuf(t, "gzip", 50)
+	// Chop mid-record: reads must eventually fail with a truncation
+	// error, not loop or return garbage silently.
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	var readErr error
+	for i := 0; i < 200; i++ {
+		if readErr = r.ReadInst(&in); readErr != nil {
+			break
+		}
+	}
+	if readErr == nil {
+		t.Fatal("truncated trace read without error")
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// A trace record should average well under 16 bytes.
+	const n = 10000
+	buf := captureBuf(t, "swim", n)
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 16 {
+		t.Fatalf("%.1f bytes/record, want < 16", perRecord)
+	}
+}
+
+func TestReaderPanicsOnCorruptViaNext(t *testing.T) {
+	buf := captureBuf(t, "gzip", 5)
+	data := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next on corrupt trace did not panic")
+		}
+	}()
+	var in isa.Inst
+	for i := 0; i < 100; i++ {
+		r.Next(&in)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &isa.Inst{Class: isa.IntALU, Src1: isa.NoReg, Src2: isa.NoReg, Dest: 3, PC: 0x400000}
+	for i := 0; i < 7; i++ {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var _ io.ReadSeeker = bytes.NewReader(buf.Bytes())
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The 26 benchmark models below are synthetic stand-ins for the SPEC2000
+// suite used by the paper (12 SPECINT + 14 SPECFP, ref inputs). Parameters
+// encode each program's qualitative, publicly documented behaviour:
+//
+//   - DDG width and chain length (FP codes: wide graphs, long chains;
+//     integer codes: narrow graphs, short chains),
+//   - operation mix (multiply/divide-heavy FP codes vs ALU-heavy integer),
+//   - branch density and predictability (crafty/vortex predictable,
+//     gzip/twolf data-dependent),
+//   - memory behaviour (mcf/art/ammp/swim cache-hostile; crafty/sixtrack
+//     resident; streaming vs pointer-chasing access),
+//   - loop-carried serialization (mcf pointer chasing, ammp neighbour
+//     lists).
+//
+// Absolute IPCs will not match the paper's Alpha binaries; the suite-level
+// contrasts that drive the paper's conclusions do.
+
+func intModel(name string, seed uint64, loops ...LoopSpec) Model {
+	return Model{Name: name, Suite: SuiteInt, Seed: seed, Loops: loops}
+}
+
+func fpModel(name string, seed uint64, loops ...LoopSpec) Model {
+	return Model{Name: name, Suite: SuiteFP, Seed: seed, Loops: loops}
+}
+
+// models lists every benchmark; order matches the paper's figures.
+var models = []Model{
+	// ---------------- SPECINT2000 ----------------
+	intModel("bzip2", 101,
+		LoopSpec{IntChains: 4, IntChainLen: 3, LoadHead: 0.6, StoreTail: 0.35,
+			Interleave: 0.25, CrossDep: 0.25, IntMulFrac: 0.03, CondBranches: 3, BranchEntropy: 0.06,
+			TripCount: 120, WorkingSetKB: 2048, StreamFrac: 0.55, StrideBytes: 8},
+		LoopSpec{IntChains: 3, IntChainLen: 4, LoadHead: 0.5, StoreTail: 0.5,
+			Interleave: 0.25, CrossDep: 0.2, CondBranches: 2, BranchEntropy: 0.04,
+			TripCount: 80, WorkingSetKB: 1024, StreamFrac: 0.7, StrideBytes: 8}),
+	intModel("crafty", 102,
+		LoopSpec{IntChains: 5, IntChainLen: 3, LoadHead: 0.55, StoreTail: 0.2,
+			Interleave: 0.25, CrossDep: 0.3, IntMulFrac: 0.04, CondBranches: 4, BranchEntropy: 0.04,
+			TripCount: 60, WorkingSetKB: 256, StreamFrac: 0.3, StrideBytes: 8},
+		LoopSpec{IntChains: 4, IntChainLen: 2, LoadHead: 0.6, StoreTail: 0.25,
+			Interleave: 0.25, CrossDep: 0.35, CondBranches: 3, BranchEntropy: 0.05,
+			TripCount: 40, WorkingSetKB: 512, StreamFrac: 0.25, StrideBytes: 8}),
+	// eon is C++ ray tracing with a significant FP component (the paper
+	// calls this out in Figure 7).
+	intModel("eon", 103,
+		LoopSpec{IntChains: 3, IntChainLen: 3, FPChains: 2, FPChainLen: 3,
+			LoadHead: 0.6, StoreTail: 0.3, Interleave: 0.25, CrossDep: 0.25, FPMulFrac: 0.4,
+			CondBranches: 3, BranchEntropy: 0.05,
+			TripCount: 70, WorkingSetKB: 512, StreamFrac: 0.4, StrideBytes: 8}),
+	intModel("gap", 104,
+		LoopSpec{IntChains: 4, IntChainLen: 4, LoadHead: 0.6, StoreTail: 0.35,
+			Interleave: 0.25, CrossDep: 0.25, IntMulFrac: 0.12, IntDivFrac: 0.005,
+			CondBranches: 3, BranchEntropy: 0.05,
+			TripCount: 100, WorkingSetKB: 1024, StreamFrac: 0.45, StrideBytes: 8}),
+	intModel("gcc", 105,
+		LoopSpec{IntChains: 6, IntChainLen: 2, LoadHead: 0.65, StoreTail: 0.35,
+			Interleave: 0.25, CrossDep: 0.3, CondBranches: 5, BranchEntropy: 0.05,
+			TripCount: 30, WorkingSetKB: 512, StreamFrac: 0.3, StrideBytes: 8,
+			Copies: 4},
+		LoopSpec{IntChains: 5, IntChainLen: 2, LoadHead: 0.6, StoreTail: 0.4,
+			Interleave: 0.25, CrossDep: 0.25, CondBranches: 4, BranchEntropy: 0.06,
+			TripCount: 25, WorkingSetKB: 1024, StreamFrac: 0.25, StrideBytes: 8,
+			Copies: 3}),
+	intModel("gzip", 106,
+		LoopSpec{IntChains: 3, IntChainLen: 4, LoadHead: 0.6, StoreTail: 0.4,
+			Interleave: 0.25, CrossDep: 0.2, CondBranches: 3, BranchEntropy: 0.04,
+			TripCount: 150, WorkingSetKB: 256, StreamFrac: 0.6, StrideBytes: 8}),
+	// mcf: pointer chasing over a graph far larger than L2. Several
+	// independent arc-traversal chains per iteration provide the real
+	// program's memory-level parallelism, while the carried chain keeps
+	// it latency-bound.
+	intModel("mcf", 107,
+		LoopSpec{IntChains: 4, IntChainLen: 3, LoadHead: 0.85, StoreTail: 0.25,
+			Interleave: 0.25, CrossDep: 0.15, LoopCarried: 0.25, CondBranches: 2, BranchEntropy: 0.03,
+			TripCount: 200, WorkingSetKB: 16384, StreamFrac: 0.05, StrideBytes: 8}),
+	intModel("parser", 108,
+		LoopSpec{IntChains: 4, IntChainLen: 3, LoadHead: 0.65, StoreTail: 0.3,
+			Interleave: 0.25, CrossDep: 0.25, LoopCarried: 0.3, CondBranches: 3, BranchEntropy: 0.03,
+			TripCount: 50, WorkingSetKB: 4096, StreamFrac: 0.2, StrideBytes: 8}),
+	intModel("perlbmk", 109,
+		LoopSpec{IntChains: 5, IntChainLen: 2, LoadHead: 0.6, StoreTail: 0.35,
+			Interleave: 0.25, CrossDep: 0.3, CondBranches: 4, BranchEntropy: 0.05,
+			TripCount: 35, WorkingSetKB: 512, StreamFrac: 0.3, StrideBytes: 8,
+			Copies: 3}),
+	intModel("twolf", 110,
+		LoopSpec{IntChains: 4, IntChainLen: 3, LoadHead: 0.65, StoreTail: 0.3,
+			Interleave: 0.25, CrossDep: 0.25, IntMulFrac: 0.06, CondBranches: 3, BranchEntropy: 0.06,
+			TripCount: 60, WorkingSetKB: 2048, StreamFrac: 0.15, StrideBytes: 8}),
+	intModel("vortex", 111,
+		LoopSpec{IntChains: 5, IntChainLen: 3, LoadHead: 0.6, StoreTail: 0.4,
+			Interleave: 0.25, CrossDep: 0.25, CondBranches: 3, BranchEntropy: 0.03,
+			TripCount: 45, WorkingSetKB: 4096, StreamFrac: 0.35, StrideBytes: 8,
+			Copies: 3}),
+	intModel("vpr", 112,
+		LoopSpec{IntChains: 4, IntChainLen: 3, LoadHead: 0.6, StoreTail: 0.3,
+			Interleave: 0.25, CrossDep: 0.25, IntMulFrac: 0.05, CondBranches: 3, BranchEntropy: 0.06,
+			TripCount: 80, WorkingSetKB: 1024, StreamFrac: 0.2, StrideBytes: 8}),
+
+	// ---------------- SPECFP2000 ----------------
+	// ammp: molecular dynamics with neighbour-list pointer chasing.
+	fpModel("ammp", 201,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 4, FPChainLen: 5,
+			LoadHead: 0.8, StoreTail: 0.4, Interleave: 0.9, CrossDep: 0.25, LoopCarried: 0.3,
+			FPMulFrac: 0.35, FPDivFrac: 0.02, CondBranches: 1, BranchEntropy: 0.04,
+			TripCount: 150, WorkingSetKB: 16384, StreamFrac: 0.12, StrideBytes: 8}),
+	fpModel("applu", 202,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 6, FPChainLen: 6,
+			LoadHead: 0.85, StoreTail: 0.45, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.4, FPDivFrac: 0.04, CondBranches: 0, BranchEntropy: 0.02,
+			TripCount: 250, WorkingSetKB: 8192, StreamFrac: 0.9, StrideBytes: 8}),
+	fpModel("apsi", 203,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 5, FPChainLen: 5,
+			LoadHead: 0.8, StoreTail: 0.4, Interleave: 0.9, CrossDep: 0.25,
+			FPMulFrac: 0.35, FPDivFrac: 0.02, CondBranches: 1, BranchEntropy: 0.05,
+			TripCount: 180, WorkingSetKB: 4096, StreamFrac: 0.7, StrideBytes: 8}),
+	// art: neural-network simulation, notoriously cache-hostile.
+	fpModel("art", 204,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 4, FPChainLen: 5,
+			LoadHead: 0.9, StoreTail: 0.35, Interleave: 0.9, CrossDep: 0.2,
+			FPMulFrac: 0.45, CondBranches: 1, BranchEntropy: 0.04,
+			TripCount: 400, WorkingSetKB: 4096, StreamFrac: 0.85, StrideBytes: 32}),
+	fpModel("equake", 205,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 4, FPChainLen: 5,
+			LoadHead: 0.95, StoreTail: 0.4, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.4, CondBranches: 1, BranchEntropy: 0.06,
+			TripCount: 200, WorkingSetKB: 8192, StreamFrac: 0.55, StrideBytes: 8}),
+	fpModel("facerec", 206,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 5, FPChainLen: 5,
+			LoadHead: 0.8, StoreTail: 0.35, Interleave: 0.9, CrossDep: 0.25,
+			FPMulFrac: 0.4, CondBranches: 1, BranchEntropy: 0.05,
+			TripCount: 220, WorkingSetKB: 2048, StreamFrac: 0.8, StrideBytes: 8}),
+	fpModel("fma3d", 207,
+		LoopSpec{IntChains: 2, IntChainLen: 3, FPChains: 6, FPChainLen: 5,
+			LoadHead: 0.8, StoreTail: 0.45, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.35, FPDivFrac: 0.01, CondBranches: 2, BranchEntropy: 0.03,
+			TripCount: 160, WorkingSetKB: 8192, StreamFrac: 0.7, StrideBytes: 8}),
+	fpModel("galgel", 208,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 7, FPChainLen: 6,
+			LoadHead: 0.75, StoreTail: 0.35, Interleave: 0.9, CrossDep: 0.35,
+			FPMulFrac: 0.4, CondBranches: 0, BranchEntropy: 0.02,
+			TripCount: 300, WorkingSetKB: 1024, StreamFrac: 0.8, StrideBytes: 8}),
+	fpModel("lucas", 209,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 6, FPChainLen: 7,
+			LoadHead: 0.7, StoreTail: 0.3, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.45, FPDivFrac: 0.01, CondBranches: 0, BranchEntropy: 0.02,
+			TripCount: 350, WorkingSetKB: 8192, StreamFrac: 0.9, StrideBytes: 16}),
+	// mesa: software 3D rendering; mixed integer/FP.
+	fpModel("mesa", 210,
+		LoopSpec{IntChains: 3, IntChainLen: 3, FPChains: 4, FPChainLen: 5,
+			LoadHead: 0.7, StoreTail: 0.45, Interleave: 0.9, CrossDep: 0.25,
+			FPMulFrac: 0.4, CondBranches: 3, BranchEntropy: 0.04,
+			TripCount: 120, WorkingSetKB: 1024, StreamFrac: 0.6, StrideBytes: 8}),
+	fpModel("mgrid", 211,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 8, FPChainLen: 6,
+			LoadHead: 0.85, StoreTail: 0.35, Interleave: 0.9, CrossDep: 0.35,
+			FPMulFrac: 0.3, CondBranches: 0, BranchEntropy: 0.01,
+			TripCount: 400, WorkingSetKB: 8192, StreamFrac: 0.95, StrideBytes: 8}),
+	fpModel("sixtrack", 212,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 6, FPChainLen: 8,
+			LoadHead: 0.6, StoreTail: 0.3, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.4, FPDivFrac: 0.03, CondBranches: 1, BranchEntropy: 0.04,
+			TripCount: 260, WorkingSetKB: 512, StreamFrac: 0.7, StrideBytes: 8}),
+	// swim: shallow-water stencil streaming far beyond L2.
+	fpModel("swim", 213,
+		LoopSpec{IntChains: 1, IntChainLen: 2, FPChains: 8, FPChainLen: 5,
+			LoadHead: 0.9, StoreTail: 0.4, Interleave: 0.9, CrossDep: 0.35,
+			FPMulFrac: 0.3, CondBranches: 0, BranchEntropy: 0.01,
+			TripCount: 500, WorkingSetKB: 16384, StreamFrac: 0.97, StrideBytes: 8}),
+	fpModel("wupwise", 214,
+		LoopSpec{IntChains: 2, IntChainLen: 2, FPChains: 5, FPChainLen: 6,
+			LoadHead: 0.75, StoreTail: 0.35, Interleave: 0.9, CrossDep: 0.3,
+			FPMulFrac: 0.45, CondBranches: 1, BranchEntropy: 0.04,
+			TripCount: 280, WorkingSetKB: 4096, StreamFrac: 0.8, StrideBytes: 8}),
+}
+
+// Benchmarks returns the names of all models in a suite, in figure order.
+func Benchmarks(s Suite) []string {
+	var names []string
+	for _, m := range models {
+		if m.Suite == s {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
+
+// AllBenchmarks returns every model name, SPECINT first.
+func AllBenchmarks() []string {
+	return append(Benchmarks(SuiteInt), Benchmarks(SuiteFP)...)
+}
+
+// ByName returns the model for a benchmark name.
+func ByName(name string) (Model, error) {
+	for _, m := range models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	known := AllBenchmarks()
+	sort.Strings(known)
+	return Model{}, fmt.Errorf("trace: unknown benchmark %q (known: %v)", name, known)
+}
+
+// MustByName is ByName for static names; it panics on unknown benchmarks.
+func MustByName(name string) Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"distiq/internal/isa"
+)
+
+// Stats summarizes a generated instruction stream. It is used by the
+// iqtrace tool and by tests validating that models have the DDG and mix
+// properties the paper's study depends on.
+type Stats struct {
+	Total      uint64
+	ByClass    [isa.NumClasses]uint64
+	Branches   uint64
+	Taken      uint64
+	MemOps     uint64
+	FPDestRegs uint64
+
+	// WindowChainWidth is the average number of distinct FP-domain
+	// dependence chains alive in a sliding window of WindowSize
+	// instructions — the paper's "DDG width" proxy. A chain here is
+	// approximated by the destination logical FP register of the
+	// window's producers.
+	WindowChainWidth float64
+	WindowSize       int
+}
+
+// CollectStats runs the generator for n instructions and summarizes them.
+func CollectStats(g *Generator, n int) Stats {
+	const window = 256 // matches the ROB size of Table 1
+	st := Stats{WindowSize: window}
+	var in isa.Inst
+
+	// Ring buffer of FP destination registers in the current window.
+	ring := make([]int16, window)
+	for i := range ring {
+		ring[i] = -1
+	}
+	live := make(map[int16]int) // fp reg -> count in window
+	widthSum := 0.0
+
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		st.Total++
+		st.ByClass[in.Class]++
+		if in.Class == isa.Branch {
+			st.Branches++
+			if in.Taken {
+				st.Taken++
+			}
+		}
+		if in.Class.IsMem() {
+			st.MemOps++
+		}
+		if in.HasDest() && in.DestFP {
+			st.FPDestRegs++
+		}
+
+		// Maintain the sliding chain-width window.
+		slot := i % window
+		if old := ring[slot]; old >= 0 {
+			live[old]--
+			if live[old] == 0 {
+				delete(live, old)
+			}
+		}
+		if in.HasDest() && in.DestFP {
+			ring[slot] = in.Dest
+			live[in.Dest]++
+		} else {
+			ring[slot] = -1
+		}
+		widthSum += float64(len(live))
+	}
+	if n > 0 {
+		st.WindowChainWidth = widthSum / float64(n)
+	}
+	return st
+}
+
+// Frac returns the fraction of instructions in class c.
+func (s Stats) Frac(c isa.Class) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.ByClass[c]) / float64(s.Total)
+}
+
+// BranchFrac returns the dynamic branch fraction.
+func (s Stats) BranchFrac() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Branches) / float64(s.Total)
+}
+
+// TakenRate returns the fraction of branches that were taken.
+func (s Stats) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// FPFrac returns the fraction of FP-domain compute instructions.
+func (s Stats) FPFrac() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	fp := s.ByClass[isa.FPAdd] + s.ByClass[isa.FPMult] + s.ByClass[isa.FPDiv]
+	return float64(fp) / float64(s.Total)
+}
+
+// String renders a one-benchmark report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d\n", s.Total)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		fmt.Fprintf(&b, "  %-8s %6.2f%%\n", c, 100*s.Frac(c))
+	}
+	fmt.Fprintf(&b, "  branches taken: %.1f%%\n", 100*s.TakenRate())
+	fmt.Fprintf(&b, "  FP chain width (window %d): %.1f\n", s.WindowSize, s.WindowChainWidth)
+	return b.String()
+}
