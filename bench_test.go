@@ -189,6 +189,34 @@ func BenchmarkFig15EnergyDelay2(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Engine parallelism benches: the same figure regenerated serially and
+// across worker pools. Each iteration builds a fresh session so every
+// simulation really runs (no cross-iteration memoization); compare
+//
+//	go test -bench='Fig8(Serial|Parallel)' -benchtime=3x
+//
+// wall-clock times to see the multi-core speedup. Output tables are
+// byte-identical at any parallelism (TestParallelFigureByteIdentical).
+// ---------------------------------------------------------------------
+
+func benchFigureParallel(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := distiq.NewSessionWith(distiq.SessionConfig{
+			Opt:      distiq.Options{Warmup: 2_000, Instructions: 10_000},
+			Parallel: parallel,
+		})
+		if _, err := distiq.Figure(8, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Serial(b *testing.B)    { benchFigureParallel(b, 1) }
+func BenchmarkFig8Parallel4(b *testing.B) { benchFigureParallel(b, 4) }
+func BenchmarkFig8Parallel8(b *testing.B) { benchFigureParallel(b, 8) }
+
+// ---------------------------------------------------------------------
 // Ablation benches for the design decisions called out in DESIGN.md.
 // ---------------------------------------------------------------------
 

@@ -2,9 +2,17 @@
 //
 // Usage:
 //
-//	iqfig -fig 8            # one figure
-//	iqfig -all              # every figure (2-4, 6-15) plus Table 1
-//	iqfig -all -n 500000    # longer runs for tighter numbers
+//	iqfig -fig 8                      # one figure
+//	iqfig -all                       # every figure (2-4, 6-15) plus Table 1
+//	iqfig -all -n 500000             # longer runs for tighter numbers
+//	iqfig -all -parallel 8           # 8 concurrent simulations
+//	iqfig -all -cache-dir ~/.distiq  # reuse results across invocations
+//
+// Simulations fan out across the engine's worker pool (GOMAXPROCS-wide by
+// default; -parallel 1 forces serial execution) and are deterministic per
+// job, so tables are byte-identical at any parallelism. With -cache-dir,
+// results persist on disk and a rerun performs zero new simulations.
+// Progress and an engine summary go to stderr; tables go to stdout.
 package main
 
 import (
@@ -18,33 +26,54 @@ import (
 
 func main() {
 	var (
-		figN   = flag.Int("fig", 0, "figure number to regenerate (2-4, 6-15)")
-		all    = flag.Bool("all", false, "regenerate every figure")
-		n      = flag.Uint64("n", 100_000, "instructions measured per run")
-		bars   = flag.Bool("bars", false, "render figures as ASCII bar charts")
-		cycle  = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
-		csv    = flag.Bool("csv", false, "emit tables as CSV")
-		warmup = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+		figN     = flag.Int("fig", 0, "figure number to regenerate (2-4, 6-15)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		n        = flag.Uint64("n", 100_000, "instructions measured per run")
+		bars     = flag.Bool("bars", false, "render figures as ASCII bar charts")
+		cycle    = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
+		csv      = flag.Bool("csv", false, "emit tables as CSV")
+		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "persistent result store directory, reused across runs")
+		quiet    = flag.Bool("quiet", false, "suppress the progress reporter on stderr")
 	)
 	flag.Parse()
 
+	if !*cycle && !*all && *figN == 0 {
+		fmt.Fprintln(os.Stderr, "iqfig: pass -fig N, -all or -cycletime")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := distiq.SessionConfig{
+		Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
+		Parallel: *parallel,
+		CacheDir: *cacheDir,
+	}
+	var reporter *distiq.ConsoleReporter
+	if !*quiet {
+		reporter = distiq.NewConsoleReporter(os.Stderr)
+		cfg.Progress = reporter.Report
+	}
+	s := distiq.NewSessionWith(cfg)
+	finish := func() {
+		if reporter != nil {
+			reporter.Finish()
+		}
+	}
+
 	if *cycle {
-		s := distiq.NewSession(distiq.Options{Warmup: *warmup, Instructions: *n})
 		tab, err := distiq.CycleTimeStudy(s)
+		finish()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iqfig:", err)
 			os.Exit(1)
 		}
 		fmt.Print(tab)
+		summarize(s)
 		return
 	}
-	if !*all && *figN == 0 {
-		fmt.Fprintln(os.Stderr, "iqfig: pass -fig N or -all")
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	s := distiq.NewSession(distiq.Options{Warmup: *warmup, Instructions: *n})
 	figures := []int{*figN}
 	if *all {
 		figures = distiq.FigureNumbers()
@@ -54,6 +83,7 @@ func main() {
 	for _, fn := range figures {
 		start := time.Now()
 		tab, err := distiq.Figure(fn, s)
+		finish()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iqfig:", err)
 			os.Exit(1)
@@ -68,4 +98,12 @@ func main() {
 		}
 		fmt.Printf("(generated in %.1fs)\n\n", time.Since(start).Seconds())
 	}
+	summarize(s)
+}
+
+// summarize reports how the engine resolved the session's jobs.
+func summarize(s *distiq.Session) {
+	st := s.EngineStats()
+	fmt.Fprintf(os.Stderr, "iqfig: %d simulated, %d memory hits, %d disk hits, %d deduplicated\n",
+		st.Simulated, st.MemoryHits, st.DiskHits, st.Shared)
 }

@@ -5,6 +5,7 @@
 //
 //	iqsim -bench swim -config MB_distr -n 200000
 //	iqsim -bench gcc -config IssueFIFO -intq 8x8 -fpq 8x16
+//	iqsim -bench swim -cache-dir /tmp/distiq-cache   # instant on rerun
 //	iqsim -list
 package main
 
@@ -23,17 +24,19 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "swim", "benchmark name (see -list)")
-		config  = flag.String("config", "MB_distr", "configuration: IQ_unbounded, IQ_64_64, IF_distr, MB_distr, IssueFIFO, LatFIFO, MixBUFF")
-		intq    = flag.String("intq", "8x8", "integer queues AxB (IssueFIFO/LatFIFO/MixBUFF configs)")
-		fpq     = flag.String("fpq", "8x16", "FP queues CxD")
-		chains  = flag.Int("chains", 8, "chains per FP queue for MixBUFF (0 = unbounded)")
-		distr   = flag.Bool("distr", false, "distribute functional units across queues")
-		n       = flag.Uint64("n", 200_000, "instructions to measure")
-		warmup  = flag.Uint64("warmup", 20_000, "warmup instructions")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		traceN  = flag.Int64("trace", 0, "print a pipeline trace for the first N cycles after warmup")
-		showcfg = flag.Bool("table1", false, "print the processor configuration and exit")
+		bench    = flag.String("bench", "swim", "benchmark name (see -list)")
+		config   = flag.String("config", "MB_distr", "configuration: IQ_unbounded, IQ_64_64, IF_distr, MB_distr, IssueFIFO, LatFIFO, MixBUFF")
+		intq     = flag.String("intq", "8x8", "integer queues AxB (IssueFIFO/LatFIFO/MixBUFF configs)")
+		fpq      = flag.String("fpq", "8x16", "FP queues CxD")
+		chains   = flag.Int("chains", 8, "chains per FP queue for MixBUFF (0 = unbounded)")
+		distr    = flag.Bool("distr", false, "distribute functional units across queues")
+		n        = flag.Uint64("n", 200_000, "instructions to measure")
+		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		traceN   = flag.Int64("trace", 0, "print a pipeline trace for the first N cycles after warmup")
+		showcfg  = flag.Bool("table1", false, "print the processor configuration and exit")
+		parallel = flag.Int("parallel", 1, "engine worker-pool size (one job needs no more)")
+		cacheDir = flag.String("cache-dir", "", "persistent result store directory; a rerun with the same job is served from disk (ignored with -trace)")
 	)
 	flag.Parse()
 
@@ -56,7 +59,15 @@ func main() {
 	if *traceN > 0 {
 		res, err = runTraced(*bench, cfg, *warmup, *n, *traceN)
 	} else {
-		res, err = distiq.Run(*bench, cfg, distiq.Options{Warmup: *warmup, Instructions: *n})
+		s := distiq.NewSessionWith(distiq.SessionConfig{
+			Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
+			Parallel: *parallel,
+			CacheDir: *cacheDir,
+		})
+		res, err = s.Result(*bench, cfg)
+		if st := s.EngineStats(); st.DiskHits > 0 {
+			fmt.Fprintln(os.Stderr, "iqsim: result served from the persistent store")
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqsim:", err)

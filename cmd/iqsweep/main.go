@@ -3,10 +3,15 @@
 // issue-logic energy in CSV, for plotting or regression tracking beyond
 // the paper's fixed figure configurations.
 //
+// The whole grid is submitted to the experiment engine as one batch, so
+// simulations shard across -parallel workers while the CSV rows stay in
+// deterministic grid order; -cache-dir reuses results across invocations.
+//
 // Usage:
 //
 //	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
 //	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
+//	iqsweep -scheme MixBUFF -parallel 8 -cache-dir /tmp/distiq-cache
 package main
 
 import (
@@ -21,16 +26,19 @@ import (
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "MixBUFF", "IssueFIFO, LatFIFO or MixBUFF (FP side; int side fixed per -intq)")
-		queues  = flag.String("queues", "8,12", "comma-separated FP queue counts")
-		entries = flag.String("entries", "8,16", "comma-separated FP entries per queue")
-		chains  = flag.String("chains", "0", "comma-separated chains per queue (MixBUFF; 0 = unbounded)")
-		intq    = flag.String("intq", "16x16", "fixed integer queues AxB")
-		suite   = flag.String("suite", "", "restrict to a suite: int or fp")
-		benchCS = flag.String("bench", "", "comma-separated benchmarks (default: suite or all)")
-		distr   = flag.Bool("distr", false, "distribute functional units")
-		n       = flag.Uint64("n", 60_000, "instructions per run")
-		warmup  = flag.Uint64("warmup", 10_000, "warmup instructions")
+		scheme   = flag.String("scheme", "MixBUFF", "IssueFIFO, LatFIFO or MixBUFF (FP side; int side fixed per -intq)")
+		queues   = flag.String("queues", "8,12", "comma-separated FP queue counts")
+		entries  = flag.String("entries", "8,16", "comma-separated FP entries per queue")
+		chains   = flag.String("chains", "0", "comma-separated chains per queue (MixBUFF; 0 = unbounded)")
+		intq     = flag.String("intq", "16x16", "fixed integer queues AxB")
+		suite    = flag.String("suite", "", "restrict to a suite: int or fp")
+		benchCS  = flag.String("bench", "", "comma-separated benchmarks (default: suite or all)")
+		distr    = flag.Bool("distr", false, "distribute functional units")
+		n        = flag.Uint64("n", 60_000, "instructions per run")
+		warmup   = flag.Uint64("warmup", 10_000, "warmup instructions")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "persistent result store directory, reused across runs")
+		quiet    = flag.Bool("quiet", false, "suppress the progress reporter on stderr")
 	)
 	flag.Parse()
 
@@ -39,9 +47,13 @@ func main() {
 		fatal("bad -intq %q: %v", *intq, err)
 	}
 	benchmarks := pickBenchmarks(*suite, *benchCS)
-	opt := distiq.Options{Warmup: *warmup, Instructions: *n}
 
-	fmt.Println("scheme,queues,entries,chains,benchmark,ipc,iq_energy_pj,cycles")
+	// Build the full grid first, in output order...
+	type point struct {
+		q, e, ch int
+		cfg      distiq.Config
+	}
+	var grid []point
 	for _, q := range ints(*queues) {
 		for _, e := range ints(*entries) {
 			for _, ch := range ints(*chains) {
@@ -49,19 +61,56 @@ func main() {
 				if err != nil {
 					fatal("%v", err)
 				}
-				for _, bench := range benchmarks {
-					res, err := distiq.Run(bench, cfg, opt)
-					if err != nil {
-						fatal("%s under %s: %v", bench, cfg.Name, err)
-					}
-					fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.1f,%d\n",
-						*scheme, q, e, ch, bench, res.IPC(), res.IQEnergy, res.Cycles)
-				}
+				grid = append(grid, point{q, e, ch, cfg})
 				if *scheme != "MixBUFF" {
 					break // chains only vary for MixBUFF
 				}
 			}
 		}
+	}
+
+	// ...shard it across the engine's worker pool...
+	scfg := distiq.SessionConfig{
+		Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
+		Parallel: *parallel,
+		CacheDir: *cacheDir,
+	}
+	var reporter *distiq.ConsoleReporter
+	if !*quiet {
+		reporter = distiq.NewConsoleReporter(os.Stderr)
+		scfg.Progress = reporter.Report
+	}
+	s := distiq.NewSessionWith(scfg)
+	cfgs := make([]distiq.Config, len(grid))
+	for i, p := range grid {
+		cfgs[i] = p.cfg
+	}
+	if err := s.Prefetch(benchmarks, cfgs...); err != nil {
+		if reporter != nil {
+			reporter.Finish()
+		}
+		fatal("%v", err)
+	}
+
+	// ...and emit rows from cache hits, byte-identical to a serial sweep.
+	// (The Result calls below still report memory-hit progress; Finish
+	// only after the last one so the status line ends terminated.)
+	fmt.Println("scheme,queues,entries,chains,benchmark,ipc,iq_energy_pj,cycles")
+	for _, p := range grid {
+		for _, bench := range benchmarks {
+			res, err := s.Result(bench, p.cfg)
+			if err != nil {
+				if reporter != nil {
+					reporter.Finish()
+				}
+				fatal("%v", err)
+			}
+			fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.1f,%d\n",
+				*scheme, p.q, p.e, p.ch, bench, res.IPC(), res.IQEnergy, res.Cycles)
+		}
+	}
+	if reporter != nil {
+		reporter.Finish()
 	}
 }
 

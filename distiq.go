@@ -15,7 +15,8 @@
 //   - an analytic issue-logic energy model (Wattch/CACTI methodology) and
 //     the paper's power-efficiency metrics (normalized power, energy,
 //     energy-delay, energy-delay²);
-//   - experiment harnesses regenerating every figure of the evaluation.
+//   - experiment harnesses regenerating every figure of the evaluation,
+//     backed by a concurrent experiment engine.
 //
 // Quick start:
 //
@@ -28,10 +29,37 @@
 //	s := distiq.NewSession(distiq.DefaultOptions())
 //	table, err := distiq.Figure(8, s)
 //	fmt.Print(table)
+//
+// # Experiment engine
+//
+// A Session delegates every benchmark × configuration job to the
+// concurrent experiment engine (internal/engine). The engine shards
+// independent jobs across a bounded worker pool (GOMAXPROCS-wide by
+// default), deduplicates identical in-flight jobs single-flight style, and
+// memoizes results in a goroutine-safe in-memory cache. Simulations are
+// deterministic per job — the workload generators use per-instance seeded
+// PRNGs and the pipeline holds no global state — so tables assembled from
+// parallel runs are byte-identical to serial ones.
+//
+// NewSessionWith exposes the engine's knobs. With a CacheDir, results
+// also persist to an on-disk store shared across processes: one JSON file
+// per result, content-addressed by a SHA-256 of the job's structural
+// identity (benchmark, configuration name and shape, warmup and measured
+// instruction counts, plus a format version), written atomically so
+// concurrent engines can share a directory. A warm rerun of a figure or
+// sweep performs zero new simulations.
+//
+//	s := distiq.NewSessionWith(distiq.SessionConfig{
+//		Opt:      distiq.DefaultOptions(),
+//		Parallel: 8,                  // worker-pool bound (0 = GOMAXPROCS)
+//		CacheDir: "/tmp/distiq-cache", // reuse results across processes
+//	})
+//	table, err := distiq.Figure(8, s)
 package distiq
 
 import (
 	"distiq/internal/core"
+	"distiq/internal/engine"
 	"distiq/internal/isa"
 	"distiq/internal/pipeline"
 	"distiq/internal/sim"
@@ -90,8 +118,19 @@ type (
 	Options = sim.Options
 	// Result is one benchmark × configuration outcome.
 	Result = sim.Result
-	// Session memoizes runs across figures.
+	// Session memoizes runs across figures; all methods are
+	// goroutine-safe and batches fan out across the engine's workers.
 	Session = sim.Session
+	// SessionConfig configures a Session's engine: parallelism,
+	// persistent cache directory and progress reporting.
+	SessionConfig = sim.SessionConfig
+	// EngineStats counts how jobs were resolved (simulated, memory
+	// hits, disk hits, deduplicated).
+	EngineStats = engine.Stats
+	// Progress describes one resolved engine job.
+	Progress = engine.Progress
+	// ConsoleReporter renders engine progress as a status line.
+	ConsoleReporter = engine.ConsoleReporter
 	// Table is a rendered experiment result.
 	Table = sim.Table
 	// ProcessorConfig is the full Table 1 machine description.
@@ -118,6 +157,12 @@ var (
 	Run = sim.Run
 	// NewSession returns a memoizing experiment session.
 	NewSession = sim.NewSession
+	// NewSessionWith returns a session with explicit engine
+	// configuration (parallelism, cache directory, progress).
+	NewSessionWith = sim.NewSessionWith
+	// NewConsoleReporter returns a progress reporter for
+	// SessionConfig.Progress, writing a status line to w.
+	NewConsoleReporter = engine.NewConsoleReporter
 	// Figure regenerates a figure of the paper (2-4, 6-15).
 	Figure = sim.Figure
 	// FigureNumbers lists the reproducible figures.

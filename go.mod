@@ -1,0 +1,3 @@
+module distiq
+
+go 1.22

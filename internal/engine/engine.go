@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers bounds concurrent simulations; 0 (or negative) selects
+	// GOMAXPROCS. Workers == 1 executes jobs strictly serially.
+	Workers int
+	// CacheDir, when non-empty, backs the in-memory cache with a
+	// persistent on-disk store at that path (created if missing), so
+	// results are reused across processes.
+	CacheDir string
+	// Simulate overrides the simulation function (tests inject stubs);
+	// nil selects Simulate.
+	Simulate func(Job) (Result, error)
+	// Progress, when non-nil, is invoked once per resolved job.
+	// Invocations are serialized by the engine.
+	Progress func(Progress)
+}
+
+// Stats counts how the engine resolved the jobs requested so far.
+type Stats struct {
+	// Requested is the number of Result calls (batch entries included).
+	Requested int64
+	// Simulated jobs ran the simulator.
+	Simulated int64
+	// MemoryHits were served from the in-memory cache.
+	MemoryHits int64
+	// DiskHits were loaded from the persistent store.
+	DiskHits int64
+	// Shared requests waited on an identical in-flight job instead of
+	// re-simulating (single-flight deduplication).
+	Shared int64
+	// DiskErrors counts failed best-effort store writes.
+	DiskErrors int64
+}
+
+// call is one in-flight computation shared by all requesters of a key.
+type call struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Engine runs experiment jobs across a bounded worker pool with
+// single-flight deduplication, an in-memory result cache and an optional
+// persistent store. All methods are safe for concurrent use.
+type Engine struct {
+	sim      func(Job) (Result, error)
+	progress func(Progress)
+	store    *Store
+	sem      chan struct{}
+
+	mu       sync.Mutex
+	memory   map[string]Result
+	inflight map[string]*call
+
+	progMu          sync.Mutex
+	total, resolved atomic.Int64
+
+	requested, simulated, memHits, diskHits, shared, diskErrors atomic.Int64
+}
+
+// New returns an Engine. The persistent store directory is created lazily
+// on first use; an unusable CacheDir surfaces as DiskErrors, never as job
+// failures.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sim := cfg.Simulate
+	if sim == nil {
+		sim = Simulate
+	}
+	e := &Engine{
+		sim:      sim,
+		progress: cfg.Progress,
+		sem:      make(chan struct{}, workers),
+		memory:   make(map[string]Result),
+		inflight: make(map[string]*call),
+	}
+	if cfg.CacheDir != "" {
+		e.store = NewStore(cfg.CacheDir)
+	}
+	return e
+}
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Stats returns a snapshot of the engine's resolution counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requested:  e.requested.Load(),
+		Simulated:  e.simulated.Load(),
+		MemoryHits: e.memHits.Load(),
+		DiskHits:   e.diskHits.Load(),
+		Shared:     e.shared.Load(),
+		DiskErrors: e.diskErrors.Load(),
+	}
+}
+
+// Result resolves one job, blocking until it is available: from the
+// in-memory cache, from an identical in-flight computation, from the
+// persistent store, or by simulating on a worker slot. Errors are shared
+// with concurrent requesters of the same job but never cached, so a later
+// request retries.
+func (e *Engine) Result(job Job) (Result, error) {
+	e.requested.Add(1)
+	e.total.Add(1)
+	key := job.Key()
+
+	e.mu.Lock()
+	if r, ok := e.memory[key]; ok {
+		e.mu.Unlock()
+		e.memHits.Add(1)
+		e.finish(job, SourceMemory)
+		return r, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		e.shared.Add(1)
+		e.finish(job, SourceShared)
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	res, err, src := e.compute(job)
+	<-e.sem
+
+	if err != nil {
+		err = fmt.Errorf("engine: %s under %s: %w", job.Bench, job.Config.Name, err)
+	}
+	c.res, c.err = res, err
+	e.mu.Lock()
+	if err == nil {
+		e.memory[key] = res
+	}
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	e.finish(job, src)
+	return res, err
+}
+
+// compute resolves a job the expensive way: persistent store, then the
+// simulator (persisting the fresh result best-effort).
+func (e *Engine) compute(job Job) (Result, error, Source) {
+	fp, addressable := "", false
+	if e.store != nil {
+		fp, addressable = job.Fingerprint()
+	}
+	if addressable {
+		if r, ok := e.store.Get(fp, job); ok {
+			e.diskHits.Add(1)
+			return r, nil, SourceDisk
+		}
+	}
+	r, err := e.sim(job)
+	if err != nil {
+		return Result{}, err, SourceSimulated
+	}
+	e.simulated.Add(1)
+	if addressable {
+		if perr := e.store.Put(fp, job, r); perr != nil {
+			e.diskErrors.Add(1)
+		}
+	}
+	return r, nil, SourceSimulated
+}
+
+// finish accounts a resolved job and reports progress. The increment and
+// the callback happen under one lock so Done is monotonic across events.
+func (e *Engine) finish(job Job, src Source) {
+	if e.progress == nil {
+		e.resolved.Add(1)
+		return
+	}
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	e.progress(Progress{
+		Done:   int(e.resolved.Add(1)),
+		Total:  int(e.total.Load()),
+		Job:    job,
+		Source: src,
+	})
+}
+
+// ResultAll resolves a batch of jobs concurrently (bounded by the worker
+// pool) and returns their results in input order. Duplicate jobs in the
+// batch are simulated once. On failure the first error in input order is
+// returned alongside the partial results.
+func (e *Engine) ResultAll(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			results[i], errs[i] = e.Result(j)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distiq/internal/core"
+)
+
+func quickJob(bench string, cfg core.Config) Job {
+	return Job{Bench: bench, Config: cfg, Opt: Options{Warmup: 1000, Instructions: 4000}}
+}
+
+// countingSim returns a stub simulate function that counts invocations per
+// key and produces a distinguishable deterministic result.
+func countingSim(calls *sync.Map, delay time.Duration) func(Job) (Result, error) {
+	return func(j Job) (Result, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		c, _ := calls.LoadOrStore(j.Key(), new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+		var r Result
+		r.Benchmark = j.Bench
+		r.Config = j.Config.Name
+		r.Insts = j.Opt.Instructions
+		r.Cycles = j.Opt.Instructions / 2
+		r.IQEnergy = float64(len(j.Bench) * 1000)
+		return r, nil
+	}
+}
+
+func totalCalls(calls *sync.Map) int64 {
+	var n int64
+	calls.Range(func(_, v any) bool { n += v.(*atomic.Int64).Load(); return true })
+	return n
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	var calls sync.Map
+	e := New(Config{Workers: 8, Simulate: countingSim(&calls, time.Millisecond)})
+	job := quickJob("swim", core.Baseline64())
+
+	const goroutines = 50
+	var wg sync.WaitGroup
+	results := make([]Result, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Result(job)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("result %d differs: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+	if n := totalCalls(&calls); n != 1 {
+		t.Fatalf("simulated %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Requested != goroutines || st.Simulated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Shared+st.MemoryHits != goroutines-1 {
+		t.Fatalf("dedup accounting wrong: %+v", st)
+	}
+}
+
+func TestBatchOrderAndDedup(t *testing.T) {
+	var calls sync.Map
+	e := New(Config{Workers: 4, Simulate: countingSim(&calls, 0)})
+	benches := []string{"swim", "gzip", "mcf", "swim", "gzip", "swim"}
+	jobs := make([]Job, len(benches))
+	for i, b := range benches {
+		jobs[i] = quickJob(b, core.MBDistr())
+	}
+	results, err := e.ResultAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Benchmark != benches[i] {
+			t.Fatalf("result %d is %s, want %s", i, r.Benchmark, benches[i])
+		}
+	}
+	if n := totalCalls(&calls); n != 3 {
+		t.Fatalf("simulated %d unique jobs, want 3", n)
+	}
+}
+
+func TestWorkerPoolBound(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	sim := func(j Job) (Result, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		var r Result
+		r.Benchmark = j.Bench
+		return r, nil
+	}
+	e := New(Config{Workers: workers, Simulate: sim})
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = quickJob(fmt.Sprintf("bench%d", i), core.Baseline64())
+	}
+	if _, err := e.ResultAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool of %d", p, workers)
+	}
+}
+
+func TestErrorsSharedNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	sim := func(j Job) (Result, error) {
+		calls.Add(1)
+		return Result{}, boom
+	}
+	e := New(Config{Workers: 2, Simulate: sim})
+	job := quickJob("swim", core.Baseline64())
+	if _, err := e.Result(job); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Errors are not cached: a later request retries.
+	if _, err := e.Result(job); !errors.Is(err, boom) {
+		t.Fatalf("retry err = %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("simulate called %d times, want 2 (errors must not be cached)", calls.Load())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls sync.Map
+	var events []Progress
+	e := New(Config{
+		Workers:  4,
+		Simulate: countingSim(&calls, 0),
+		Progress: func(p Progress) { events = append(events, p) },
+	})
+	jobs := []Job{
+		quickJob("swim", core.Baseline64()),
+		quickJob("gzip", core.Baseline64()),
+		quickJob("swim", core.Baseline64()),
+	}
+	if _, err := e.ResultAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events, want %d", len(events), len(jobs))
+	}
+	last := events[len(events)-1]
+	if last.Done != len(jobs) || last.Total != len(jobs) {
+		t.Fatalf("final progress %d/%d, want %d/%d", last.Done, last.Total, len(jobs), len(jobs))
+	}
+}
+
+func TestRealSimulationThroughEngine(t *testing.T) {
+	e := New(Config{Workers: 2})
+	r, err := e.Result(quickJob("gzip", core.MBDistr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "gzip" || r.Config != "MB_distr" {
+		t.Fatalf("identity wrong: %+v", r.Run)
+	}
+	if r.IPC() <= 0.1 || r.IPC() > 8 || r.IQEnergy <= 0 {
+		t.Fatalf("implausible result: IPC %v, energy %v", r.IPC(), r.IQEnergy)
+	}
+	// Memoized second request is bit-identical.
+	r2, err := e.Result(quickJob("gzip", core.MBDistr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles != r.Cycles || r2.IQEnergy != r.IQEnergy {
+		t.Fatal("memoized result differs")
+	}
+	if st := e.Stats(); st.Simulated != 1 || st.MemoryHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaultWorkerCount(t *testing.T) {
+	if w := New(Config{}).Workers(); w < 1 {
+		t.Fatalf("workers = %d", w)
+	}
+	if w := New(Config{Workers: 7}).Workers(); w != 7 {
+		t.Fatalf("workers = %d, want 7", w)
+	}
+}

@@ -1,0 +1,137 @@
+// Package engine executes simulation experiments concurrently: it shards
+// independent (benchmark × configuration × options) jobs across a bounded
+// worker pool, deduplicates identical in-flight jobs single-flight style,
+// memoizes results in a goroutine-safe in-memory cache and, optionally,
+// persists them to an on-disk store content-addressed by a hash of the
+// job, so results are reused across processes.
+//
+// Simulations are deterministic per job (the workload generators use
+// per-instance seeded PRNGs and the pipeline holds no global state), so a
+// result computed by any worker, in any order, in any process, is
+// bit-identical to a serial run. Consumers may therefore fan out freely
+// and still assemble byte-identical tables.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"distiq/internal/core"
+	"distiq/internal/isa"
+	"distiq/internal/metrics"
+	"distiq/internal/pipeline"
+	"distiq/internal/power"
+	"distiq/internal/trace"
+)
+
+// Options controls simulation length. The paper simulates 100M
+// instructions per benchmark after skipping initialization; the synthetic
+// workloads reach steady state much sooner, so the defaults are far
+// smaller while remaining stable to ~1%.
+type Options struct {
+	// Warmup instructions run before statistics collection starts
+	// (caches and predictors stay warm, counters reset).
+	Warmup uint64
+	// Instructions measured per run.
+	Instructions uint64
+}
+
+// Result is the outcome of one benchmark × configuration simulation.
+type Result struct {
+	metrics.Run
+	Stats pipeline.Stats
+	// IntBreakdown and FPBreakdown are the labeled issue-logic energy
+	// breakdowns per domain; Breakdown is their sum.
+	IntBreakdown, FPBreakdown, Breakdown power.Breakdown
+}
+
+// Job identifies one unit of experiment work.
+type Job struct {
+	Bench  string
+	Config core.Config
+	Opt    Options
+}
+
+// storeVersion is folded into job fingerprints and written into every
+// store entry; bump it whenever the simulator or the entry layout changes
+// in a result-affecting way, which atomically invalidates old caches.
+const storeVersion = 1
+
+// domCanon renders the structural identity of one domain's configuration.
+func domCanon(d core.DomainConfig) string {
+	return fmt.Sprintf("%s,%d,%d,%d,%t,%t",
+		d.Kind, d.Queues, d.Entries, d.Chains,
+		d.KeepMapOnMispredict, d.FlatSelectPriority)
+}
+
+// canonical renders the job's full structural identity, or reports false
+// when the configuration embeds a Custom scheme factory, whose behaviour
+// a string cannot capture.
+func (j Job) canonical() (string, bool) {
+	if j.Config.Int.Custom != nil || j.Config.FP.Custom != nil {
+		return "", false
+	}
+	return fmt.Sprintf("distiq-v%d|%s|%s|w%d|n%d|int:%s|fp:%s|distr:%t",
+		storeVersion, j.Bench, j.Config.Name,
+		j.Opt.Warmup, j.Opt.Instructions,
+		domCanon(j.Config.Int), domCanon(j.Config.FP),
+		j.Config.DistributedFU), true
+}
+
+// Key returns the in-process memoization key. Jobs with Custom schemes
+// fall back to name-based identity (the caller must name distinct custom
+// configurations distinctly, as sim.Session always required).
+func (j Job) Key() string {
+	if c, ok := j.canonical(); ok {
+		return c
+	}
+	return fmt.Sprintf("custom|%s|%s|w%d|n%d",
+		j.Bench, j.Config.Name, j.Opt.Warmup, j.Opt.Instructions)
+}
+
+// Fingerprint returns the content address used by the persistent store: a
+// hex SHA-256 of the job's canonical identity. It reports false for jobs
+// that cannot be safely persisted (Custom scheme configurations).
+func (j Job) Fingerprint() (string, bool) {
+	c, ok := j.canonical()
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256([]byte(c))
+	return hex.EncodeToString(sum[:]), true
+}
+
+// Simulate runs one job to completion on the calling goroutine: it drives
+// the pipeline over the benchmark's synthetic model under the job's
+// configuration and assembles the performance and energy result.
+func Simulate(j Job) (Result, error) {
+	model, err := trace.ByName(j.Bench)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := trace.NewGenerator(model)
+	p, err := pipeline.New(pipeline.DefaultConfig(j.Config), gen)
+	if err != nil {
+		return Result{}, err
+	}
+	p.Warmup(j.Opt.Warmup)
+	p.Run(j.Opt.Instructions)
+
+	st := p.Stats()
+	res := Result{Stats: st}
+	res.Benchmark = j.Bench
+	res.Config = j.Config.Name
+	res.Insts = st.Committed
+	res.Cycles = st.Cycles
+
+	intScheme := p.Scheme(isa.IntDomain)
+	fpScheme := p.Scheme(isa.FPDomain)
+	res.IntBreakdown = power.NewCalc(intScheme.Geometry()).Energy(intScheme.Events())
+	res.FPBreakdown = power.NewCalc(fpScheme.Geometry()).Energy(fpScheme.Events())
+	res.Breakdown = power.Breakdown{}
+	res.Breakdown.Add(res.IntBreakdown)
+	res.Breakdown.Add(res.FPBreakdown)
+	res.IQEnergy = res.Breakdown.Total()
+	return res, nil
+}

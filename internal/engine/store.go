@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the persistent result cache: one JSON file per result under a
+// flat directory, named by the job's content-address fingerprint, so any
+// process computing the same job produces (and finds) the same file.
+//
+// Writes go through a temp file and an atomic rename, so concurrent
+// engines sharing a directory never observe torn entries; unreadable or
+// stale-format files are treated as misses and overwritten.
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir. The directory is created on
+// first Put.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk format: a version tag plus the job identity for
+// auditability (the filename alone is an opaque hash) and validation.
+type entry struct {
+	Version      int    `json:"version"`
+	Benchmark    string `json:"benchmark"`
+	Config       string `json:"config"`
+	Warmup       uint64 `json:"warmup"`
+	Instructions uint64 `json:"instructions"`
+	Result       Result `json:"result"`
+}
+
+func (s *Store) path(fp string) string {
+	return filepath.Join(s.dir, fp+".json")
+}
+
+// Get loads the result addressed by fp, validating that the entry's
+// version and recorded identity match the requesting job. Any mismatch or
+// read/decode failure is a cache miss.
+func (s *Store) Get(fp string, job Job) (Result, bool) {
+	data, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return Result{}, false
+	}
+	var ent entry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return Result{}, false
+	}
+	if ent.Version != storeVersion ||
+		ent.Benchmark != job.Bench || ent.Config != job.Config.Name ||
+		ent.Warmup != job.Opt.Warmup || ent.Instructions != job.Opt.Instructions {
+		return Result{}, false
+	}
+	return ent.Result, true
+}
+
+// Put persists a result under fp atomically (temp file + rename).
+func (s *Store) Put(fp string, job Job, r Result) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("engine: create store: %w", err)
+	}
+	ent := entry{
+		Version:      storeVersion,
+		Benchmark:    job.Bench,
+		Config:       job.Config.Name,
+		Warmup:       job.Opt.Warmup,
+		Instructions: job.Opt.Instructions,
+		Result:       r,
+	}
+	data, err := json.MarshalIndent(ent, "", " ")
+	if err != nil {
+		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: store temp: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("engine: store write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("engine: store close: %w", err)
+	}
+	if err := os.Rename(name, s.path(fp)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("engine: store rename: %w", err)
+	}
+	return nil
+}

@@ -27,6 +27,12 @@ func CycleTimeStudy(s *Session) (Table, error) {
 	schemes := []core.Config{core.IFDistr(), core.MBDistr()}
 	suites := []trace.Suite{trace.SuiteInt, trace.SuiteFP}
 
+	// The whole study reads the same base/IF/MB runs; resolve them as
+	// one batch through the engine's worker pool up front.
+	if err := s.Prefetch(trace.AllBenchmarks(), base, schemes[0], schemes[1]); err != nil {
+		return Table{}, err
+	}
+
 	for _, rel := range []float64{1.00, 0.95, 0.90, 0.85, 0.80} {
 		row := make([]float64, 0, 4)
 		for _, suite := range suites {

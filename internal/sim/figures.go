@@ -72,6 +72,12 @@ func (s *Session) lossSweep(title string, suite trace.Suite, mk func(q, e int) c
 		t.Columns = append(t.Columns, fmt.Sprintf("%dx%d", qe[0], qe[1]))
 	}
 	base := core.Unbounded()
+	// Resolve the whole benchmark × configuration grid through the
+	// engine's worker pool; the loops below then assemble the table from
+	// cache hits, in deterministic order.
+	if err := s.Prefetch(trace.Benchmarks(suite), append([]core.Config{base}, configs...)...); err != nil {
+		return Table{}, err
+	}
 	for _, b := range trace.Benchmarks(suite) {
 		baseRun, err := s.Result(b, base)
 		if err != nil {
@@ -113,6 +119,9 @@ func (s *Session) ipcFigure(title string, suite trace.Suite) (Table, error) {
 	for _, cfg := range configs {
 		t.Columns = append(t.Columns, cfg.Name)
 	}
+	if err := s.Prefetch(trace.Benchmarks(suite), configs...); err != nil {
+		return Table{}, err
+	}
 	for _, b := range trace.Benchmarks(suite) {
 		row := make([]float64, 0, len(configs))
 		for _, cfg := range configs {
@@ -149,6 +158,9 @@ func (s *Session) breakdownFigure(title string, cfg core.Config) (Table, error) 
 	t := Table{Title: title, RowName: "component",
 		Note:    "% of issue-logic energy, per suite",
 		Columns: []string{"SPECINT", "SPECFP"}}
+	if err := s.Prefetch(trace.AllBenchmarks(), cfg); err != nil {
+		return Table{}, err
+	}
 	totals := map[string][2]float64{}
 	var sums [2]float64
 	for si, suite := range []trace.Suite{trace.SuiteInt, trace.SuiteFP} {
@@ -198,6 +210,10 @@ func (s *Session) efficiencyFigure(title string, m effMetric) (Table, error) {
 		Note:    "normalized to IQ_64_64 (per-benchmark, suite mean)",
 		Columns: []string{"SPECINT", "SPECFP"}}
 	base := core.Baseline64()
+	if err := s.Prefetch(trace.AllBenchmarks(),
+		append([]core.Config{base}, evaluatedConfigs()...)...); err != nil {
+		return Table{}, err
+	}
 	for _, cfg := range evaluatedConfigs() {
 		var row [2]float64
 		for si, suite := range []trace.Suite{trace.SuiteInt, trace.SuiteFP} {

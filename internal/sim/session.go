@@ -2,30 +2,25 @@
 // the synthetic SPEC2000 models under named issue-queue configurations,
 // assembles performance and energy results, and regenerates every table
 // and figure of the evaluation section.
+//
+// Execution is delegated to the concurrent experiment engine
+// (distiq/internal/engine): a Session shards independent benchmark ×
+// configuration jobs across a bounded worker pool, deduplicates identical
+// in-flight jobs, and can persist results to an on-disk store shared
+// across processes. Simulations are deterministic per job, so tables are
+// byte-identical whatever the parallelism.
 package sim
 
 import (
-	"fmt"
-
 	"distiq/internal/core"
-	"distiq/internal/isa"
+	"distiq/internal/engine"
 	"distiq/internal/metrics"
-	"distiq/internal/pipeline"
-	"distiq/internal/power"
 	"distiq/internal/trace"
 )
 
-// Options controls simulation length. The paper simulates 100M
-// instructions per benchmark after skipping initialization; the synthetic
-// workloads reach steady state much sooner, so the defaults are far
-// smaller while remaining stable to ~1%.
-type Options struct {
-	// Warmup instructions run before statistics collection starts
-	// (caches and predictors stay warm, counters reset).
-	Warmup uint64
-	// Instructions measured per run.
-	Instructions uint64
-}
+// Options controls simulation length. It is the engine's job sizing,
+// re-exported under its historical name.
+type Options = engine.Options
 
 // DefaultOptions returns lengths suitable for regenerating all figures in
 // a few minutes.
@@ -39,77 +34,92 @@ func QuickOptions() Options {
 }
 
 // Result is the outcome of one benchmark × configuration simulation.
-type Result struct {
-	metrics.Run
-	Stats pipeline.Stats
-	// IntBreakdown and FPBreakdown are the labeled issue-logic energy
-	// breakdowns per domain; Breakdown is their sum.
-	IntBreakdown, FPBreakdown, Breakdown power.Breakdown
+type Result = engine.Result
+
+// Run simulates one benchmark under one configuration on the calling
+// goroutine, bypassing every cache.
+func Run(bench string, cfg core.Config, opt Options) (Result, error) {
+	return engine.Simulate(engine.Job{Bench: bench, Config: cfg, Opt: opt})
 }
 
-// Run simulates one benchmark under one configuration.
-func Run(bench string, cfg core.Config, opt Options) (Result, error) {
-	model, err := trace.ByName(bench)
-	if err != nil {
-		return Result{}, err
-	}
-	gen := trace.NewGenerator(model)
-	p, err := pipeline.New(pipeline.DefaultConfig(cfg), gen)
-	if err != nil {
-		return Result{}, err
-	}
-	p.Warmup(opt.Warmup)
-	p.Run(opt.Instructions)
-
-	st := p.Stats()
-	res := Result{Stats: st}
-	res.Benchmark = bench
-	res.Config = cfg.Name
-	res.Insts = st.Committed
-	res.Cycles = st.Cycles
-
-	intScheme := p.Scheme(isa.IntDomain)
-	fpScheme := p.Scheme(isa.FPDomain)
-	res.IntBreakdown = power.NewCalc(intScheme.Geometry()).Energy(intScheme.Events())
-	res.FPBreakdown = power.NewCalc(fpScheme.Geometry()).Energy(fpScheme.Events())
-	res.Breakdown = power.Breakdown{}
-	res.Breakdown.Add(res.IntBreakdown)
-	res.Breakdown.Add(res.FPBreakdown)
-	res.IQEnergy = res.Breakdown.Total()
-	return res, nil
+// SessionConfig configures a Session beyond its defaults.
+type SessionConfig struct {
+	// Opt sizes every simulation of the session.
+	Opt Options
+	// Parallel bounds concurrent simulations; 0 selects GOMAXPROCS,
+	// 1 runs strictly serially.
+	Parallel int
+	// CacheDir, when non-empty, persists results to (and reuses them
+	// from) an on-disk store shared across processes.
+	CacheDir string
+	// Progress, when non-nil, receives one callback per resolved job.
+	Progress func(engine.Progress)
 }
 
 // Session memoizes runs so figures sharing configurations (every figure
-// reuses the baselines) do not repeat work.
+// reuses the baselines) do not repeat work. All methods are safe for
+// concurrent use; batches submitted through figure generation fan out
+// across the engine's worker pool.
 type Session struct {
-	Opt   Options
-	cache map[string]Result
+	Opt Options
+	eng *engine.Engine
 }
 
-// NewSession returns a Session with the given options.
+// NewSession returns a Session with the given options, a GOMAXPROCS-wide
+// worker pool and in-memory caching only.
 func NewSession(opt Options) *Session {
-	return &Session{Opt: opt, cache: make(map[string]Result)}
+	return NewSessionWith(SessionConfig{Opt: opt})
+}
+
+// NewSessionWith returns a Session with explicit engine configuration.
+func NewSessionWith(cfg SessionConfig) *Session {
+	return &Session{
+		Opt: cfg.Opt,
+		eng: engine.New(engine.Config{
+			Workers:  cfg.Parallel,
+			CacheDir: cfg.CacheDir,
+			Progress: cfg.Progress,
+		}),
+	}
+}
+
+// EngineStats reports how the session resolved its jobs so far
+// (simulated, memory hits, disk hits, deduplicated).
+func (s *Session) EngineStats() engine.Stats { return s.eng.Stats() }
+
+func (s *Session) job(bench string, cfg core.Config) engine.Job {
+	return engine.Job{Bench: bench, Config: cfg, Opt: s.Opt}
 }
 
 // Result returns the memoized run for bench × cfg, simulating on first use.
 func (s *Session) Result(bench string, cfg core.Config) (Result, error) {
-	key := bench + "|" + cfg.Name
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	return s.eng.Result(s.job(bench, cfg))
+}
+
+// Prefetch resolves every bench × cfg combination through the engine's
+// worker pool, so subsequent Result calls for those jobs are cache hits.
+// The figure builders batch their whole job set this way before
+// assembling tables serially.
+func (s *Session) Prefetch(benches []string, cfgs ...core.Config) error {
+	jobs := make([]engine.Job, 0, len(benches)*len(cfgs))
+	for _, b := range benches {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, s.job(b, cfg))
+		}
 	}
-	r, err := Run(bench, cfg, s.Opt)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: %s under %s: %w", bench, cfg.Name, err)
-	}
-	s.cache[key] = r
-	return r, nil
+	_, err := s.eng.ResultAll(jobs)
+	return err
 }
 
 // SuiteRuns returns the metrics.Run values of a whole suite under cfg, in
 // figure order.
 func (s *Session) SuiteRuns(suite trace.Suite, cfg core.Config) ([]metrics.Run, error) {
-	var runs []metrics.Run
-	for _, b := range trace.Benchmarks(suite) {
+	benches := trace.Benchmarks(suite)
+	if err := s.Prefetch(benches, cfg); err != nil {
+		return nil, err
+	}
+	runs := make([]metrics.Run, 0, len(benches))
+	for _, b := range benches {
 		r, err := s.Result(b, cfg)
 		if err != nil {
 			return nil, err

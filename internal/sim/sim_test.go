@@ -50,8 +50,9 @@ func TestSessionMemoizes(t *testing.T) {
 	if a.Cycles != b.Cycles || a.IQEnergy != b.IQEnergy {
 		t.Fatal("memoized result differs")
 	}
-	if len(s.cache) != 1 {
-		t.Fatalf("cache size = %d, want 1", len(s.cache))
+	st := s.EngineStats()
+	if st.Simulated != 1 || st.MemoryHits != 1 {
+		t.Fatalf("engine stats = %+v, want 1 simulated + 1 memory hit", st)
 	}
 }
 
