@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"distiq"
+	"distiq/internal/cliutil"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		bars     = flag.Bool("bars", false, "render figures as ASCII bar charts")
 		cycle    = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
 		csv      = flag.Bool("csv", false, "emit tables as CSV")
+		md       = flag.Bool("md", false, "emit tables as markdown")
 		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir = flag.String("cache-dir", "", "persistent result store directory, reused across runs")
@@ -42,6 +44,10 @@ func main() {
 	if !*cycle && !*all && *figN == 0 {
 		fmt.Fprintln(os.Stderr, "iqfig: pass -fig N, -all or -cycletime")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "iqfig:", err)
 		os.Exit(2)
 	}
 
@@ -91,6 +97,8 @@ func main() {
 		switch {
 		case *csv:
 			fmt.Print(tab.CSV())
+		case *md:
+			fmt.Print(tab.Markdown())
 		case *bars:
 			fmt.Print(tab.Bars(48))
 		default:

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"distiq"
+	"distiq/internal/cliutil"
 	"distiq/internal/isa"
 	"distiq/internal/pipeline"
 	"distiq/internal/power"
@@ -40,6 +41,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "iqsim:", err)
+		os.Exit(2)
+	}
 	if *list {
 		fmt.Println("SPECINT:", strings.Join(distiq.Benchmarks(distiq.SuiteInt), " "))
 		fmt.Println("SPECFP: ", strings.Join(distiq.Benchmarks(distiq.SuiteFP), " "))

@@ -1,164 +1,220 @@
-// Command iqsweep runs a grid sweep of one issue-queue organization over
-// queues × entries (× chains for MixBUFF) and emits per-benchmark IPC and
-// issue-logic energy in CSV, for plotting or regression tracking beyond
-// the paper's fixed figure configurations.
+// Command iqsweep runs declarative experiment grids through the cached
+// concurrent engine. A grid is either a JSON scenario spec (-spec) naming
+// axes over the full machine — benchmarks/suites, issue-queue schemes and
+// shapes, ROB size, pipeline widths, functional-unit counts, memory
+// latencies, the perfect-disambiguation ablation — or the legacy
+// queues × entries flags, which generate the equivalent spec
+// (-dump-spec prints it).
 //
 // The whole grid is submitted to the experiment engine as one batch, so
-// simulations shard across -parallel workers while the CSV rows stay in
-// deterministic grid order; -cache-dir reuses results across invocations.
+// simulations shard across -parallel workers while output rows stay in
+// deterministic grid order; -cache-dir reuses results across invocations,
+// so a warm rerun performs zero simulations and emits identical bytes.
 //
 // Usage:
 //
+//	iqsweep -spec grid.json -cache-dir /tmp/distiq-cache
+//	iqsweep -spec grid.json -format md -o results.md
 //	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
 //	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
-//	iqsweep -scheme MixBUFF -parallel 8 -cache-dir /tmp/distiq-cache
+//	iqsweep -scheme MixBUFF -queues 8 -dump-spec   # flags -> spec JSON
+//
+// A spec sweeping scheme × ROB × perfect disambiguation:
+//
+//	{
+//	  "name": "rob-ablation",
+//	  "suites": ["fp"],
+//	  "schemes": [{"scheme": "MB_distr"}, {"scheme": "IQ_64_64"}],
+//	  "rob": [128, 256],
+//	  "perfect_disambiguation": [false, true]
+//	}
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"distiq"
+	"distiq/internal/cliutil"
 )
 
+// errBadFlags marks a flag-parse failure the FlagSet already reported
+// on stderr, so main does not print it a second time.
+var errBadFlags = errors.New("bad flags")
+
 func main() {
+	stats, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "iqsweep: %v\n", err)
+		os.Exit(1)
+	}
+	// -dump-spec (and any future no-run mode) requests nothing from the
+	// engine; only summarize when jobs were actually resolved.
+	if stats.Requested > 0 {
+		fmt.Fprintf(os.Stderr, "iqsweep: %d simulated, %d memory hits, %d disk hits, %d deduplicated\n",
+			stats.Simulated, stats.MemoryHits, stats.DiskHits, stats.Shared)
+	}
+}
+
+// run parses argv, assembles the grid spec (from -spec or the legacy
+// flags), executes it and writes the formatted results. It returns the
+// engine counters so tests can assert warm-cache behaviour.
+func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
+	fs := flag.NewFlagSet("iqsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scheme   = flag.String("scheme", "MixBUFF", "IssueFIFO, LatFIFO or MixBUFF (FP side; int side fixed per -intq)")
-		queues   = flag.String("queues", "8,12", "comma-separated FP queue counts")
-		entries  = flag.String("entries", "8,16", "comma-separated FP entries per queue")
-		chains   = flag.String("chains", "0", "comma-separated chains per queue (MixBUFF; 0 = unbounded)")
-		intq     = flag.String("intq", "16x16", "fixed integer queues AxB")
-		suite    = flag.String("suite", "", "restrict to a suite: int or fp")
-		benchCS  = flag.String("bench", "", "comma-separated benchmarks (default: suite or all)")
-		distr    = flag.Bool("distr", false, "distribute functional units")
-		n        = flag.Uint64("n", 60_000, "instructions per run")
-		warmup   = flag.Uint64("warmup", 10_000, "warmup instructions")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = flag.String("cache-dir", "", "persistent result store directory, reused across runs")
-		quiet    = flag.Bool("quiet", false, "suppress the progress reporter on stderr")
+		specPath = fs.String("spec", "", "JSON scenario-grid spec file (overrides the legacy grid flags)")
+		format   = fs.String("format", "csv", "output format: csv, json or md")
+		outPath  = fs.String("o", "", "write output to this file instead of stdout")
+		dumpSpec = fs.Bool("dump-spec", false, "print the effective spec as JSON and exit without simulating")
+
+		scheme  = fs.String("scheme", "MixBUFF", "legacy grid: IssueFIFO, LatFIFO or MixBUFF (FP side; int side fixed per -intq)")
+		queues  = fs.String("queues", "8,12", "legacy grid: comma-separated FP queue counts")
+		entries = fs.String("entries", "8,16", "legacy grid: comma-separated FP entries per queue")
+		chains  = fs.String("chains", "0", "legacy grid: comma-separated chains per queue (MixBUFF; 0 = unbounded)")
+		intq    = fs.String("intq", "16x16", "legacy grid: fixed integer queues AxB")
+		suite   = fs.String("suite", "", "restrict to a suite: int or fp")
+		benchCS = fs.String("bench", "", "comma-separated benchmarks (default: suite or all)")
+		distr   = fs.Bool("distr", false, "legacy grid: distribute functional units")
+		n       = fs.Uint64("n", 60_000, "instructions per run")
+		warmup  = fs.Uint64("warmup", 10_000, "warmup instructions")
+
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir = fs.String("cache-dir", "", "persistent result store directory, reused across runs")
+		quiet    = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
 	)
-	flag.Parse()
-
-	var a, b int
-	if _, err := fmt.Sscanf(*intq, "%dx%d", &a, &b); err != nil {
-		fatal("bad -intq %q: %v", *intq, err)
-	}
-	benchmarks := pickBenchmarks(*suite, *benchCS)
-
-	// Build the full grid first, in output order...
-	type point struct {
-		q, e, ch int
-		cfg      distiq.Config
-	}
-	var grid []point
-	for _, q := range ints(*queues) {
-		for _, e := range ints(*entries) {
-			for _, ch := range ints(*chains) {
-				cfg, err := makeConfig(*scheme, a, b, q, e, ch, *distr)
-				if err != nil {
-					fatal("%v", err)
-				}
-				grid = append(grid, point{q, e, ch, cfg})
-				if *scheme != "MixBUFF" {
-					break // chains only vary for MixBUFF
-				}
-			}
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return distiq.EngineStats{}, err
 		}
+		// The FlagSet has already written the message and usage.
+		return distiq.EngineStats{}, fmt.Errorf("%w: %v", errBadFlags, err)
+	}
+	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+		return distiq.EngineStats{}, err
 	}
 
-	// ...shard it across the engine's worker pool...
-	scfg := distiq.SessionConfig{
-		Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
-		Parallel: *parallel,
-		CacheDir: *cacheDir,
+	spec, err := assembleSpec(*specPath, legacyFlags{
+		scheme: *scheme, queues: *queues, entries: *entries, chains: *chains,
+		intq: *intq, suite: *suite, bench: *benchCS, distr: *distr,
+		n: *n, warmup: *warmup,
+	})
+	if err != nil {
+		return distiq.EngineStats{}, err
 	}
+
+	if *dumpSpec {
+		data, err := spec.JSON()
+		if err != nil {
+			return distiq.EngineStats{}, err
+		}
+		fmt.Fprintln(stdout, string(data))
+		return distiq.EngineStats{}, nil
+	}
+
+	grid, err := spec.Expand()
+	if err != nil {
+		return distiq.EngineStats{}, err
+	}
+
+	rc := distiq.ScenarioRunConfig{Parallel: *parallel, CacheDir: *cacheDir}
 	var reporter *distiq.ConsoleReporter
 	if !*quiet {
-		reporter = distiq.NewConsoleReporter(os.Stderr)
-		scfg.Progress = reporter.Report
+		reporter = distiq.NewConsoleReporter(stderr)
+		rc.Progress = reporter.Report
 	}
-	s := distiq.NewSessionWith(scfg)
-	cfgs := make([]distiq.Config, len(grid))
-	for i, p := range grid {
-		cfgs[i] = p.cfg
-	}
-	if err := s.Prefetch(benchmarks, cfgs...); err != nil {
-		if reporter != nil {
-			reporter.Finish()
-		}
-		fatal("%v", err)
-	}
-
-	// ...and emit rows from cache hits, byte-identical to a serial sweep.
-	// (The Result calls below still report memory-hit progress; Finish
-	// only after the last one so the status line ends terminated.)
-	fmt.Println("scheme,queues,entries,chains,benchmark,ipc,iq_energy_pj,cycles")
-	for _, p := range grid {
-		for _, bench := range benchmarks {
-			res, err := s.Result(bench, p.cfg)
-			if err != nil {
-				if reporter != nil {
-					reporter.Finish()
-				}
-				fatal("%v", err)
-			}
-			fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.1f,%d\n",
-				*scheme, p.q, p.e, p.ch, bench, res.IPC(), res.IQEnergy, res.Cycles)
-		}
-	}
+	res, err := grid.Run(rc)
 	if reporter != nil {
 		reporter.Finish()
 	}
-}
+	if err != nil {
+		return distiq.EngineStats{}, err
+	}
 
-func makeConfig(scheme string, a, b, q, e, chains int, distr bool) (distiq.Config, error) {
-	var cfg distiq.Config
-	switch scheme {
-	case "IssueFIFO":
-		cfg = distiq.IssueFIFOCfg(a, b, q, e)
-	case "LatFIFO":
-		cfg = distiq.LatFIFOCfg(a, b, q, e)
-	case "MixBUFF":
-		cfg = distiq.MixBUFFCfg(a, b, q, e, chains)
+	var out string
+	switch *format {
+	case "csv":
+		out = res.CSV()
+	case "json":
+		data, err := res.JSON()
+		if err != nil {
+			return res.Stats, err
+		}
+		out = string(data) + "\n"
+	case "md", "markdown":
+		out = res.Markdown()
 	default:
-		return cfg, fmt.Errorf("unknown scheme %q", scheme)
+		return res.Stats, fmt.Errorf("unknown -format %q (csv, json or md)", *format)
 	}
-	cfg.DistributedFU = distr
-	return cfg, cfg.Validate()
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
+			return res.Stats, err
+		}
+		return res.Stats, nil
+	}
+	_, err = io.WriteString(stdout, out)
+	return res.Stats, err
 }
 
-func pickBenchmarks(suite, list string) []string {
-	if list != "" {
-		return strings.Split(list, ",")
-	}
-	switch strings.ToLower(suite) {
-	case "int":
-		return distiq.Benchmarks(distiq.SuiteInt)
-	case "fp":
-		return distiq.Benchmarks(distiq.SuiteFP)
-	case "":
-		return distiq.AllBenchmarks()
-	}
-	fatal("unknown suite %q (int or fp)", suite)
-	return nil
+// legacyFlags carries the pre-spec grid flags; assembleSpec turns them
+// into the equivalent scenario spec when no -spec file is given.
+type legacyFlags struct {
+	scheme, queues, entries, chains, intq, suite, bench string
+	distr                                               bool
+	n, warmup                                           uint64
 }
 
-func ints(csv string) []int {
+func assembleSpec(specPath string, lf legacyFlags) (*distiq.ScenarioSpec, error) {
+	if specPath != "" {
+		return distiq.LoadScenarioSpec(specPath)
+	}
+	qs, err := ints(lf.queues)
+	if err != nil {
+		return nil, err
+	}
+	es, err := ints(lf.entries)
+	if err != nil {
+		return nil, err
+	}
+	chs, err := ints(lf.chains)
+	if err != nil {
+		return nil, err
+	}
+	spec := distiq.NewScenario("").WithScheme(distiq.SchemeAxis{
+		Scheme: lf.scheme, IntQ: lf.intq,
+		Queues: qs, Entries: es, Chains: chs, Distr: lf.distr,
+	}).WithLengths(lf.warmup, lf.n)
+	if lf.bench != "" {
+		spec.WithBenchmarks(strings.Split(lf.bench, ",")...)
+	} else if lf.suite != "" {
+		spec.WithSuites(strings.ToLower(lf.suite))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ints parses a comma-separated integer list.
+func ints(csv string) ([]int, error) {
 	var out []int
 	for _, s := range strings.Split(csv, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			fatal("bad integer list %q: %v", csv, err)
+			return nil, fmt.Errorf("bad integer list %q: %v", csv, err)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "iqsweep: "+format+"\n", args...)
-	os.Exit(1)
+	return out, nil
 }

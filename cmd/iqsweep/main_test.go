@@ -1,44 +1,172 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"distiq"
 )
 
 func TestInts(t *testing.T) {
-	got := ints("8, 12,16")
-	if !reflect.DeepEqual(got, []int{8, 12, 16}) {
-		t.Fatalf("ints = %v", got)
-	}
-}
-
-func TestPickBenchmarks(t *testing.T) {
-	if got := pickBenchmarks("", "swim,gzip"); !reflect.DeepEqual(got, []string{"swim", "gzip"}) {
-		t.Fatalf("explicit list = %v", got)
-	}
-	if got := pickBenchmarks("fp", ""); len(got) != 14 {
-		t.Fatalf("fp suite = %d entries", len(got))
-	}
-	if got := pickBenchmarks("int", ""); len(got) != 12 {
-		t.Fatalf("int suite = %d entries", len(got))
-	}
-	if got := pickBenchmarks("", ""); len(got) != 26 {
-		t.Fatalf("all = %d entries", len(got))
-	}
-}
-
-func TestMakeConfig(t *testing.T) {
-	cfg, err := makeConfig("MixBUFF", 8, 8, 10, 16, 4, true)
+	got, err := ints("8, 12,16")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.FP.Queues != 10 || cfg.FP.Entries != 16 || cfg.FP.Chains != 4 || !cfg.DistributedFU {
-		t.Fatalf("config wrong: %+v", cfg)
+	if !reflect.DeepEqual(got, []int{8, 12, 16}) {
+		t.Fatalf("ints = %v", got)
 	}
-	if _, err := makeConfig("nope", 8, 8, 8, 8, 0, false); err == nil {
+	if _, err := ints("8,twelve"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestAssembleSpecFromLegacyFlags(t *testing.T) {
+	spec, err := assembleSpec("", legacyFlags{
+		scheme: "MixBUFF", queues: "8,12", entries: "16", chains: "0,8",
+		intq: "16x16", suite: "fp", n: 60_000, warmup: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 queues x 1 entries x 2 chains x 14 FP benchmarks.
+	if grid.Size() != 2*1*2*14 {
+		t.Fatalf("grid size = %d", grid.Size())
+	}
+	if !reflect.DeepEqual(grid.Axes, []string{"scheme", "queues", "entries", "chains"}) {
+		t.Fatalf("axes = %v", grid.Axes)
+	}
+
+	if _, err := assembleSpec("", legacyFlags{scheme: "nope", queues: "8",
+		entries: "8", chains: "0", n: 1, warmup: 1}); err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
-	_ = distiq.SuiteFP
+	if _, err := assembleSpec("", legacyFlags{scheme: "MixBUFF", queues: "8",
+		entries: "8", chains: "0", bench: "nonesuch", n: 1, warmup: 1}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if _, err := run([]string{"-parallel", "-1"}, &out, &errw); err == nil {
+		t.Fatal("-parallel -1 accepted")
+	}
+	if _, err := run([]string{"-cache-dir", "/nonexistent-parent-dir/sub/cache"}, &out, &errw); err == nil {
+		t.Fatal("bad -cache-dir parent accepted")
+	}
+	if _, err := run([]string{"-spec", "/no/such/spec.json"}, &out, &errw); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schemes": [{"scheme": "MB_distr"}], "robz": [128]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-spec", bad}, &out, &errw); err == nil ||
+		!strings.Contains(err.Error(), "robz") {
+		t.Fatalf("unknown axis not rejected: %v", err)
+	}
+}
+
+// testSpec is a three-axis grid (scheme x ROB x perfect disambiguation)
+// kept tiny so the end-to-end test stays fast.
+const testSpec = `{
+  "name": "e2e",
+  "benchmarks": ["swim"],
+  "schemes": [{"scheme": "MB_distr"}],
+  "rob": [128, 256],
+  "perfect_disambiguation": [false, true],
+  "warmup": 1000,
+  "instructions": 2000
+}`
+
+func TestRunSpecEndToEndWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	argv := []string{"-spec", specPath, "-cache-dir", cacheDir, "-quiet", "-parallel", "2"}
+
+	var cold, errw bytes.Buffer
+	coldStats, err := run(argv, &cold, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Simulated != 4 {
+		t.Fatalf("cold run simulated %d jobs, want 4", coldStats.Simulated)
+	}
+	head := strings.SplitN(cold.String(), "\n", 2)[0]
+	want := "scheme,queues,entries,chains,rob,perfect_disambig,benchmark,ipc,iq_energy_pj,cycles"
+	if head != want {
+		t.Fatalf("csv header = %q, want %q", head, want)
+	}
+	if rows := strings.Count(cold.String(), "\n"); rows != 5 { // header + 4 points
+		t.Fatalf("csv lines = %d, want 5", rows)
+	}
+
+	var warm bytes.Buffer
+	warmStats, err := run(argv, &warm, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Simulated != 0 {
+		t.Fatalf("warm rerun simulated %d jobs, want 0", warmStats.Simulated)
+	}
+	if warmStats.DiskHits == 0 {
+		t.Fatal("warm rerun reported no disk hits")
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatalf("warm CSV differs from cold CSV:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+}
+
+func TestRunDumpSpecRoundTrips(t *testing.T) {
+	var out, errw bytes.Buffer
+	if _, err := run([]string{"-dump-spec", "-bench", "swim", "-scheme", "IssueFIFO",
+		"-queues", "8", "-entries", "8", "-chains", "0"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := distiq.ParseScenarioSpec(out.Bytes())
+	if err != nil {
+		t.Fatalf("dumped spec does not parse back: %v\n%s", err, out.String())
+	}
+	if len(spec.Schemes) != 1 || spec.Schemes[0].Scheme != "IssueFIFO" {
+		t.Fatalf("round-tripped spec = %+v", spec)
+	}
+}
+
+func TestRunOtherFormats(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	spec := `{"benchmarks": ["swim"], "schemes": [{"scheme": "IQ_64_64"}],
+		"warmup": 500, "instructions": 1000}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var md, js, errw bytes.Buffer
+	if _, err := run([]string{"-spec", specPath, "-quiet", "-format", "md"}, &md, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(md.String(), "| scheme |") {
+		t.Fatalf("markdown output = %q", md.String())
+	}
+	if _, err := run([]string{"-spec", specPath, "-quiet", "-format", "json"}, &js, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"benchmark": "swim"`) {
+		t.Fatalf("json output = %q", js.String())
+	}
+	var bad bytes.Buffer
+	if _, err := run([]string{"-spec", specPath, "-quiet", "-format", "yaml"}, &bad, &errw); err == nil {
+		t.Fatal("unknown format accepted")
+	}
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"distiq"
@@ -30,69 +31,87 @@ func main() {
 	)
 	flag.Parse()
 
-	if *replay != "" {
-		if err := summarizeFile(*replay, *n); err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		return
+	if err := run(os.Stdout, *bench, *n, *dump, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, "iqtrace:", err)
+		os.Exit(1)
 	}
-	if *dump != "" {
-		if *bench == "" {
-			fmt.Fprintln(os.Stderr, "iqtrace: -dump requires -bench")
-			os.Exit(1)
-		}
-		model, err := trace.ByName(*bench)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		f, err := os.Create(*dump)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		if err := trace.Capture(f, model, *n); err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("captured %d instructions of %s to %s\n", *n, *bench, *dump)
-		return
-	}
+}
 
-	if *bench != "" {
-		model, err := trace.ByName(*bench)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iqtrace:", err)
-			os.Exit(1)
-		}
-		g := trace.NewGenerator(model)
-		st := trace.CollectStats(g, *n)
-		fmt.Printf("%s (%s, %d static instructions)\n", model.Name, model.Suite, g.StaticSize())
-		fmt.Print(st)
-		return
+// run dispatches the command's modes: replay a captured file, capture a
+// benchmark, report one benchmark in detail, or summarize all of them.
+func run(w io.Writer, bench string, n int, dump, replay string) error {
+	if n <= 0 {
+		return fmt.Errorf("-n %d: must be positive", n)
 	}
+	switch {
+	case replay != "":
+		return summarizeFile(w, replay, n)
+	case dump != "":
+		return captureFile(w, bench, dump, n)
+	case bench != "":
+		return detailBenchmark(w, bench, n)
+	default:
+		return summarizeAll(w, n)
+	}
+}
 
-	fmt.Printf("%-10s %-8s %7s %7s %7s %7s %9s\n",
+// captureFile writes a benchmark's instruction stream to a binary trace
+// file.
+func captureFile(w io.Writer, bench, path string, n int) error {
+	if bench == "" {
+		return fmt.Errorf("-dump requires -bench")
+	}
+	model, err := trace.ByName(bench)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Capture(f, model, n); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "captured %d instructions of %s to %s\n", n, bench, path)
+	return nil
+}
+
+// detailBenchmark prints one benchmark's full workload statistics.
+func detailBenchmark(w io.Writer, bench string, n int) error {
+	model, err := trace.ByName(bench)
+	if err != nil {
+		return err
+	}
+	g := trace.NewGenerator(model)
+	st := trace.CollectStats(g, n)
+	fmt.Fprintf(w, "%s (%s, %d static instructions)\n", model.Name, model.Suite, g.StaticSize())
+	fmt.Fprint(w, st)
+	return nil
+}
+
+// summarizeAll prints the one-line-per-benchmark characterization table.
+func summarizeAll(w io.Writer, n int) error {
+	fmt.Fprintf(w, "%-10s %-8s %7s %7s %7s %7s %9s\n",
 		"benchmark", "suite", "branch%", "mem%", "fp%", "taken%", "fp-width")
 	for _, name := range distiq.AllBenchmarks() {
 		model := trace.MustByName(name)
 		g := trace.NewGenerator(model)
-		st := trace.CollectStats(g, *n)
+		st := trace.CollectStats(g, n)
 		memFrac := float64(st.ByClass[isa.Load]+st.ByClass[isa.Store]) / float64(st.Total)
-		fmt.Printf("%-10s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %9.1f\n",
+		fmt.Fprintf(w, "%-10s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %9.1f\n",
 			name, model.Suite,
 			100*st.BranchFrac(), 100*memFrac, 100*st.FPFrac(),
 			100*st.TakenRate(), st.WindowChainWidth)
 	}
+	return nil
 }
 
 // summarizeFile prints the class mix of a captured trace file.
-func summarizeFile(path string, n int) error {
+func summarizeFile(w io.Writer, path string, n int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -102,7 +121,7 @@ func summarizeFile(path string, n int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace of %s\n", r.Benchmark())
+	fmt.Fprintf(w, "trace of %s\n", r.Benchmark())
 	var counts [isa.NumClasses]uint64
 	var in isa.Inst
 	for i := 0; i < n; i++ {
@@ -122,8 +141,8 @@ func summarizeFile(path string, n int) error {
 		if counts[c] == 0 {
 			continue
 		}
-		fmt.Printf("  %-8s %6.2f%%\n", c, 100*float64(counts[c])/float64(total))
+		fmt.Fprintf(w, "  %-8s %6.2f%%\n", c, 100*float64(counts[c])/float64(total))
 	}
-	fmt.Printf("  records: %d\n", total)
+	fmt.Fprintf(w, "  records: %d\n", total)
 	return nil
 }

@@ -55,6 +55,39 @@
 //		CacheDir: "/tmp/distiq-cache", // reuse results across processes
 //	})
 //	table, err := distiq.Figure(8, s)
+//
+// # Scenario grids
+//
+// The paper fixes the Table 1 machine and varies only the issue-queue
+// organization. Scenario grids open the whole machine to the same cached
+// engine: a declarative spec (JSON, or the builder below) names axes over
+// benchmarks/suites, schemes and queue shapes, ROB size, pipeline widths,
+// functional-unit counts, memory latencies and the perfect-disambiguation
+// ablation; Expand crosses them into engine jobs and Run shards them
+// across the worker pool with on-disk reuse. Results emit as CSV, JSON or
+// markdown, in deterministic grid order at any parallelism.
+//
+//	spec := distiq.NewScenario("rob-ablation").
+//		WithSuites("fp").
+//		WithNamed("MB_distr", "IQ_64_64").
+//		WithROB(128, 256).
+//		WithPerfectDisambiguation(false, true).
+//		WithLengths(10_000, 60_000)
+//	grid, err := spec.Expand()
+//	if err != nil { ... }
+//	res, err := grid.Run(distiq.ScenarioRunConfig{CacheDir: "/tmp/distiq-cache"})
+//	if err != nil { ... }
+//	fmt.Print(res.CSV())
+//
+// The same grid as JSON (cmd/iqsweep -spec accepts this format):
+//
+//	{
+//	  "name": "rob-ablation",
+//	  "suites": ["fp"],
+//	  "schemes": [{"scheme": "MB_distr"}, {"scheme": "IQ_64_64"}],
+//	  "rob": [128, 256],
+//	  "perfect_disambiguation": [false, true]
+//	}
 package distiq
 
 import (
@@ -62,6 +95,7 @@ import (
 	"distiq/internal/engine"
 	"distiq/internal/isa"
 	"distiq/internal/pipeline"
+	"distiq/internal/scenario"
 	"distiq/internal/sim"
 	"distiq/internal/trace"
 )
@@ -182,6 +216,41 @@ var (
 	// that need cycle-level control (see examples/customscheme).
 	DefaultProcessor = pipeline.DefaultConfig
 	NewPipeline      = pipeline.New
+)
+
+// Scenario grid types: declarative full-machine experiment sweeps
+// through the cached engine.
+type (
+	// ScenarioSpec is a declarative experiment grid over benchmarks,
+	// schemes and full-machine axes; build one with NewScenario or
+	// parse JSON with ParseScenarioSpec/LoadScenarioSpec.
+	ScenarioSpec = scenario.Spec
+	// SchemeAxis is one issue-queue organization axis of a grid.
+	SchemeAxis = scenario.SchemeAxis
+	// ScenarioGrid is a spec's expanded cross-product of jobs.
+	ScenarioGrid = scenario.Grid
+	// ScenarioPoint is one expanded grid cell.
+	ScenarioPoint = scenario.Point
+	// ScenarioResults pairs a grid with its results and emits CSV,
+	// JSON or markdown.
+	ScenarioResults = scenario.ResultSet
+	// ScenarioRunConfig configures grid execution (parallelism,
+	// persistent cache, progress).
+	ScenarioRunConfig = scenario.RunConfig
+	// Machine overrides full-machine parameters on one engine job
+	// (nil = the paper's Table 1 machine).
+	Machine = engine.Machine
+)
+
+// Scenario grid entry points.
+var (
+	// NewScenario starts a builder-style grid spec.
+	NewScenario = scenario.New
+	// ParseScenarioSpec decodes a JSON grid spec (strict: unknown
+	// axes are errors).
+	ParseScenarioSpec = scenario.ParseSpec
+	// LoadScenarioSpec reads and parses a JSON grid spec file.
+	LoadScenarioSpec = scenario.LoadSpec
 )
 
 // Domains of the split issue logic.

@@ -1,0 +1,53 @@
+// Package cliutil validates command-line inputs shared by the iq*
+// commands, so every binary rejects bad engine knobs with the same clear
+// error instead of a panic or a silent zero-value run.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ValidateParallel rejects negative worker-pool bounds. Zero is valid
+// (it selects GOMAXPROCS).
+func ValidateParallel(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS, 1 = serial)", n)
+	}
+	return nil
+}
+
+// ValidateCacheDir rejects cache directories that could never be
+// created: the directory itself may not exist yet (the store creates it
+// lazily), but its parent must already be a directory. Empty means "no
+// persistent store" and is valid.
+func ValidateCacheDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if fi, err := os.Stat(dir); err == nil {
+		if !fi.IsDir() {
+			return fmt.Errorf("-cache-dir %s: exists and is not a directory", dir)
+		}
+		return nil
+	}
+	parent := filepath.Dir(filepath.Clean(dir))
+	fi, err := os.Stat(parent)
+	if err != nil {
+		return fmt.Errorf("-cache-dir %s: parent directory %s does not exist", dir, parent)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("-cache-dir %s: parent %s is not a directory", dir, parent)
+	}
+	return nil
+}
+
+// ValidateEngineFlags bundles the engine knob checks every command
+// shares.
+func ValidateEngineFlags(parallel int, cacheDir string) error {
+	if err := ValidateParallel(parallel); err != nil {
+		return err
+	}
+	return ValidateCacheDir(cacheDir)
+}

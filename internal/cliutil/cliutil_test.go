@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateParallel(t *testing.T) {
+	for _, n := range []int{0, 1, 64} {
+		if err := ValidateParallel(n); err != nil {
+			t.Errorf("parallel %d rejected: %v", n, err)
+		}
+	}
+	if err := ValidateParallel(-1); err == nil {
+		t.Error("parallel -1 accepted")
+	}
+}
+
+func TestValidateCacheDir(t *testing.T) {
+	if err := ValidateCacheDir(""); err != nil {
+		t.Errorf("empty cache dir rejected: %v", err)
+	}
+	dir := t.TempDir()
+	if err := ValidateCacheDir(dir); err != nil {
+		t.Errorf("existing dir rejected: %v", err)
+	}
+	if err := ValidateCacheDir(filepath.Join(dir, "new-cache")); err != nil {
+		t.Errorf("creatable dir rejected: %v", err)
+	}
+	if err := ValidateCacheDir(filepath.Join(dir, "missing", "cache")); err == nil {
+		t.Error("cache dir under missing parent accepted")
+	}
+	file := filepath.Join(dir, "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCacheDir(file); err == nil {
+		t.Error("cache dir pointing at a file accepted")
+	}
+	if err := ValidateCacheDir(filepath.Join(file, "cache")); err == nil {
+		t.Error("cache dir under a file accepted")
+	}
+}
+
+func TestValidateEngineFlags(t *testing.T) {
+	if err := ValidateEngineFlags(0, ""); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	if err := ValidateEngineFlags(-2, ""); err == nil {
+		t.Error("negative parallel accepted")
+	}
+	if err := ValidateEngineFlags(0, "/no/such/parent/cache"); err == nil {
+		t.Error("bad cache dir accepted")
+	}
+}

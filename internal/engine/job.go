@@ -51,12 +51,17 @@ type Job struct {
 	Bench  string
 	Config core.Config
 	Opt    Options
+	// Machine optionally overrides full-machine parameters (ROB size,
+	// widths, functional units, memory latencies, perfect
+	// disambiguation); nil is the paper's Table 1 machine.
+	Machine *Machine
 }
 
 // storeVersion is folded into job fingerprints and written into every
 // store entry; bump it whenever the simulator or the entry layout changes
 // in a result-affecting way, which atomically invalidates old caches.
-const storeVersion = 1
+// v2 added the machine-configuration segment to job identity.
+const storeVersion = 2
 
 // domCanon renders the structural identity of one domain's configuration.
 func domCanon(d core.DomainConfig) string {
@@ -67,16 +72,23 @@ func domCanon(d core.DomainConfig) string {
 
 // canonical renders the job's full structural identity, or reports false
 // when the configuration embeds a Custom scheme factory, whose behaviour
-// a string cannot capture.
+// a string cannot capture. The machine segment is rendered from the
+// *applied* pipeline configuration, so overrides that restate Table 1
+// defaults hash identically to no override.
 func (j Job) canonical() (string, bool) {
 	if j.Config.Int.Custom != nil || j.Config.FP.Custom != nil {
 		return "", false
 	}
-	return fmt.Sprintf("distiq-v%d|%s|%s|w%d|n%d|int:%s|fp:%s|distr:%t",
+	return fmt.Sprintf("distiq-v%d|%s|%s|w%d|n%d|int:%s|fp:%s|distr:%t|mach:%s",
 		storeVersion, j.Bench, j.Config.Name,
 		j.Opt.Warmup, j.Opt.Instructions,
 		domCanon(j.Config.Int), domCanon(j.Config.FP),
-		j.Config.DistributedFU), true
+		j.Config.DistributedFU, j.machineCanon()), true
+}
+
+// machineCanon renders the job's full-machine identity segment.
+func (j Job) machineCanon() string {
+	return machCanon(j.PipelineConfig())
 }
 
 // Key returns the in-process memoization key. Jobs with Custom schemes
@@ -86,8 +98,9 @@ func (j Job) Key() string {
 	if c, ok := j.canonical(); ok {
 		return c
 	}
-	return fmt.Sprintf("custom|%s|%s|w%d|n%d",
-		j.Bench, j.Config.Name, j.Opt.Warmup, j.Opt.Instructions)
+	return fmt.Sprintf("custom|%s|%s|w%d|n%d|mach:%s",
+		j.Bench, j.Config.Name, j.Opt.Warmup, j.Opt.Instructions,
+		j.machineCanon())
 }
 
 // Fingerprint returns the content address used by the persistent store: a
@@ -111,7 +124,7 @@ func Simulate(j Job) (Result, error) {
 		return Result{}, err
 	}
 	gen := trace.NewGenerator(model)
-	p, err := pipeline.New(pipeline.DefaultConfig(j.Config), gen)
+	p, err := pipeline.New(j.PipelineConfig(), gen)
 	if err != nil {
 		return Result{}, err
 	}

@@ -31,6 +31,7 @@ type entry struct {
 	Version      int    `json:"version"`
 	Benchmark    string `json:"benchmark"`
 	Config       string `json:"config"`
+	Machine      string `json:"machine"`
 	Warmup       uint64 `json:"warmup"`
 	Instructions uint64 `json:"instructions"`
 	Result       Result `json:"result"`
@@ -54,6 +55,7 @@ func (s *Store) Get(fp string, job Job) (Result, bool) {
 	}
 	if ent.Version != storeVersion ||
 		ent.Benchmark != job.Bench || ent.Config != job.Config.Name ||
+		ent.Machine != job.machineCanon() ||
 		ent.Warmup != job.Opt.Warmup || ent.Instructions != job.Opt.Instructions {
 		return Result{}, false
 	}
@@ -69,6 +71,7 @@ func (s *Store) Put(fp string, job Job, r Result) error {
 		Version:      storeVersion,
 		Benchmark:    job.Bench,
 		Config:       job.Config.Name,
+		Machine:      job.machineCanon(),
 		Warmup:       job.Opt.Warmup,
 		Instructions: job.Opt.Instructions,
 		Result:       r,

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"distiq/internal/engine"
+)
+
+// metricColumns are the measured columns appended after the axis and
+// benchmark columns of every emitted row.
+var metricColumns = []string{"ipc", "iq_energy_pj", "cycles"}
+
+// ResultSet pairs a grid with its results (in point order) and the
+// engine counters of the run that produced them.
+type ResultSet struct {
+	Grid    *Grid
+	Results []engine.Result
+	Stats   engine.Stats
+}
+
+// Header returns the column names of the tabular emitters: the grid's
+// varying axes, the benchmark, then the metrics.
+func (rs *ResultSet) Header() []string {
+	h := append([]string(nil), rs.Grid.Axes...)
+	h = append(h, "benchmark")
+	return append(h, metricColumns...)
+}
+
+// row renders one result row as strings aligned with Header.
+func (rs *ResultSet) row(i int) []string {
+	p, r := rs.Grid.Points[i], rs.Results[i]
+	out := append([]string(nil), p.Values...)
+	out = append(out, p.Bench,
+		fmt.Sprintf("%.4f", r.IPC()),
+		fmt.Sprintf("%.1f", r.IQEnergy),
+		fmt.Sprintf("%d", r.Cycles))
+	return out
+}
+
+// CSV renders the result set as comma-separated values with a header
+// row. Rows follow grid order, so reruns at any parallelism (or from a
+// warm cache) emit byte-identical output.
+func (rs *ResultSet) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(rs.Header(), ","))
+	b.WriteByte('\n')
+	for i := range rs.Results {
+		b.WriteString(strings.Join(rs.row(i), ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the result set as a GitHub-flavored markdown table.
+func (rs *ResultSet) Markdown() string {
+	var b strings.Builder
+	if name := rs.Grid.Spec.Name; name != "" {
+		fmt.Fprintf(&b, "### %s\n\n", name)
+	}
+	header := rs.Header()
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(header)) + "\n")
+	for i := range rs.Results {
+		b.WriteString("| " + strings.Join(rs.row(i), " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// JSON renders the result set as an indented JSON document: the spec
+// name and one object per row keyed by column name (metrics as numbers,
+// axis values as strings). Run-varying engine counters are deliberately
+// excluded — a warm-cache rerun must emit byte-identical documents;
+// read Stats (or the CLI's stderr summary) for resolution counts.
+func (rs *ResultSet) JSON() ([]byte, error) {
+	type doc struct {
+		Name string           `json:"name,omitempty"`
+		Rows []map[string]any `json:"rows"`
+	}
+	d := doc{Name: rs.Grid.Spec.Name}
+	for i := range rs.Results {
+		p, r := rs.Grid.Points[i], rs.Results[i]
+		row := make(map[string]any, len(rs.Grid.Axes)+4)
+		for k, axis := range rs.Grid.Axes {
+			row[axis] = p.Values[k]
+		}
+		row["benchmark"] = p.Bench
+		row["ipc"] = r.IPC()
+		row["iq_energy_pj"] = r.IQEnergy
+		row["cycles"] = r.Cycles
+		d.Rows = append(d.Rows, row)
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the strict JSON spec parser with arbitrary
+// bytes: it must never panic, must reject unknown axes, and any spec it
+// accepts must expand (or fail) cleanly without panicking.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{"schemes": [{"scheme": "MB_distr"}]}`,
+		`{"name": "g", "suites": ["fp"], "schemes": [
+			{"scheme": "MixBUFF", "intq": "8x8", "queues": [8, 12], "entries": [16], "chains": [0, 8], "distr": true}],
+			"rob": [128, 256], "perfect_disambiguation": [false, true],
+			"warmup": 1000, "instructions": 2000}`,
+		`{"schemes": [{"scheme": "IssueFIFO"}], "mem_latency": [50, 100, 200]}`,
+		`{"schemes": [{"scheme": "SuperQ"}]}`,
+		`{"robz": [128]}`,
+		`{"schemes": [{"scheme": "MB_distr"}], "benchmarks": ["nonesuch"]}`,
+		`[1, 2, 3]`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("ParseSpec returned both a spec and an error")
+			}
+			return
+		}
+		// Unknown axes must never survive parsing: every key the
+		// decoder accepted is a real field, so re-encoding and
+		// re-parsing must succeed too.
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		if _, err := ParseSpec(out); err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v\n%s", err, out)
+		}
+		// Expansion may reject the spec (e.g. non-power-of-two ROB)
+		// but must not panic, and errors must be prefixed.
+		if _, err := s.Expand(); err != nil &&
+			!strings.Contains(err.Error(), "scenario:") &&
+			!strings.Contains(err.Error(), "pipeline:") {
+			t.Fatalf("unlabeled expand error: %v", err)
+		}
+	})
+}

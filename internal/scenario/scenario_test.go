@@ -1,0 +1,270 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distiq/internal/engine"
+)
+
+func TestParseSpecStrict(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown axis", `{"schemes": [{"scheme": "MB_distr"}], "robz": [128]}`, "robz"},
+		{"unknown scheme", `{"schemes": [{"scheme": "SuperQ"}]}`, "unknown scheme"},
+		{"unknown benchmark", `{"schemes": [{"scheme": "MB_distr"}], "benchmarks": ["nonesuch"]}`, "nonesuch"},
+		{"unknown suite", `{"schemes": [{"scheme": "MB_distr"}], "suites": ["vector"]}`, "unknown suite"},
+		{"no schemes", `{"rob": [128]}`, "no schemes"},
+		{"negative rob", `{"schemes": [{"scheme": "MB_distr"}], "rob": [-1]}`, "not positive"},
+		{"duplicate rob", `{"schemes": [{"scheme": "MB_distr"}], "rob": [128, 128]}`, "repeats"},
+		{"duplicate pdis", `{"schemes": [{"scheme": "MB_distr"}], "perfect_disambiguation": [true, true]}`, "repeats"},
+		{"shape on named", `{"schemes": [{"scheme": "MB_distr", "queues": [8]}]}`, "no queue shape"},
+		{"chains on fifo", `{"schemes": [{"scheme": "IssueFIFO", "chains": [4]}]}`, "only to MixBUFF"},
+		{"bad intq", `{"schemes": [{"scheme": "MixBUFF", "intq": "8by8"}]}`, "queue shape"},
+		{"trailing data", `{"schemes": [{"scheme": "MB_distr"}]} {"x": 1}`, "trailing"},
+		{"not json", `schemes: [MB_distr]`, "parse spec"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec([]byte(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+		"name": "demo",
+		"suites": ["fp"],
+		"benchmarks": ["gzip"],
+		"schemes": [
+			{"scheme": "MB_distr"},
+			{"scheme": "MixBUFF", "intq": "8x8", "queues": [8, 12], "entries": [16], "chains": [8], "distr": true}
+		],
+		"rob": [128, 256],
+		"perfect_disambiguation": [false, true],
+		"warmup": 1000,
+		"instructions": 2000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1 named + 2 parametric) scheme points x 2 rob x 2 pdis x (14 fp + gzip).
+	if want := 3 * 2 * 2 * 15; grid.Size() != want {
+		t.Fatalf("grid size = %d, want %d", grid.Size(), want)
+	}
+	wantAxes := []string{"scheme", "queues", "entries", "chains", "rob", "perfect_disambig"}
+	if !reflect.DeepEqual(grid.Axes, wantAxes) {
+		t.Fatalf("axes = %v", grid.Axes)
+	}
+	// Every point carries a machine override here (rob always set).
+	for _, p := range grid.Points {
+		if p.Machine == nil || p.Machine.ROBSize == 0 {
+			t.Fatalf("point missing machine override: %+v", p)
+		}
+		if len(p.Values) != len(grid.Axes) {
+			t.Fatalf("point values misaligned: %v vs %v", p.Values, grid.Axes)
+		}
+	}
+	// Benchmarks are innermost: first two points differ only by bench.
+	if grid.Points[0].Bench == grid.Points[1].Bench {
+		t.Fatal("benchmark is not the innermost axis")
+	}
+	if !reflect.DeepEqual(grid.Points[0].Values, grid.Points[1].Values) {
+		t.Fatal("adjacent benchmark points should share axis values")
+	}
+}
+
+func TestExpandRejectsInvalidMachine(t *testing.T) {
+	s := New("bad-rob").WithNamed("MB_distr").WithROB(100) // not a power of two
+	if _, err := s.Expand(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("err = %v, want power-of-two rejection", err)
+	}
+	s2 := New("bad-width").WithNamed("MB_distr")
+	s2.FetchWidth = []int{-2}
+	if _, err := s2.Expand(); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestBuilderMatchesJSON(t *testing.T) {
+	b := New("demo").
+		WithSuites("fp").
+		WithNamed("MB_distr", "IQ_64_64").
+		WithROB(128, 256).
+		WithPerfectDisambiguation(false, true).
+		WithLengths(1000, 2000)
+	data, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("builder spec does not round-trip: %v\n%s", err, data)
+	}
+	g1, err := b.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := parsed.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Size() != g2.Size() || !reflect.DeepEqual(g1.Axes, g2.Axes) {
+		t.Fatalf("builder and JSON grids differ: %d/%v vs %d/%v",
+			g1.Size(), g1.Axes, g2.Size(), g2.Axes)
+	}
+}
+
+// stubEngine returns an engine whose simulator fabricates deterministic
+// results from the job identity, so emitter tests need no real runs.
+func stubEngine(workers int) *engine.Engine {
+	return engine.New(engine.Config{
+		Workers: workers,
+		Simulate: func(j engine.Job) (engine.Result, error) {
+			var r engine.Result
+			r.Benchmark = j.Bench
+			r.Config = j.Config.Name
+			r.Insts = j.Opt.Instructions
+			r.Cycles = j.Opt.Instructions/2 + uint64(len(j.Key())%7)
+			r.IQEnergy = float64(len(j.Key()))
+			return r, nil
+		},
+	})
+}
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	s := New("emit").
+		WithBenchmarks("swim", "gzip").
+		WithNamed("IQ_64_64").
+		WithScheme(SchemeAxis{Scheme: "MixBUFF", Queues: []int{8}, Entries: []int{16}, Chains: []int{8}}).
+		WithROB(128, 256).
+		WithLengths(100, 200)
+	g, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmitters(t *testing.T) {
+	g := testGrid(t)
+	rs, err := g.RunOn(stubEngine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rs.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "scheme,queues,entries,chains,rob,benchmark,ipc,iq_energy_pj,cycles" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+g.Size() {
+		t.Fatalf("csv rows = %d, want %d", len(lines)-1, g.Size())
+	}
+	if !strings.HasPrefix(lines[1], "IQ_64_64,1,64,0,128,swim,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+
+	md := rs.Markdown()
+	if !strings.HasPrefix(md, "### emit\n") || !strings.Contains(md, "| scheme |") {
+		t.Fatalf("markdown = %q", md)
+	}
+
+	js, err := rs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "emit"`, `"benchmark": "swim"`, `"rob": "128"`} {
+		if !strings.Contains(string(js), want) {
+			t.Fatalf("json missing %s:\n%s", want, js)
+		}
+	}
+	// Run-varying engine counters must stay out of the document so warm
+	// reruns emit byte-identical JSON.
+	if strings.Contains(string(js), "simulated") {
+		t.Fatalf("json leaks engine counters:\n%s", js)
+	}
+}
+
+// TestLengthSemantics pins the unset-vs-zero contract: missing lengths
+// take the defaults, an explicit zero warmup is honored, and zero
+// measured instructions are rejected.
+func TestLengthSemantics(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"schemes": [{"scheme": "MB_distr"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := s.Opt(); opt.Warmup != DefaultWarmup || opt.Instructions != DefaultInstructions {
+		t.Fatalf("unset lengths = %+v", opt)
+	}
+	s, err = ParseSpec([]byte(`{"schemes": [{"scheme": "MB_distr"}], "warmup": 0, "instructions": 500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := s.Opt(); opt.Warmup != 0 || opt.Instructions != 500 {
+		t.Fatalf("explicit zero warmup not honored: %+v", opt)
+	}
+	if opt := New("b").WithLengths(0, 500).Opt(); opt.Warmup != 0 || opt.Instructions != 500 {
+		t.Fatalf("builder zero warmup not honored: %+v", opt)
+	}
+	if _, err := ParseSpec([]byte(`{"schemes": [{"scheme": "MB_distr"}], "instructions": 0}`)); err == nil ||
+		!strings.Contains(err.Error(), "instructions must be positive") {
+		t.Fatalf("zero instructions accepted: %v", err)
+	}
+}
+
+// TestRunDeterministicAcrossParallelism asserts the acceptance property
+// the engine guarantees: grid output bytes are identical at any worker
+// count, and identical points dedup to one simulation.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	g := testGrid(t)
+	serial, err := g.RunOn(stubEngine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := g.RunOn(stubEngine(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CSV() != parallel.CSV() {
+		t.Fatal("grid CSV differs between serial and parallel runs")
+	}
+	if parallel.Stats.Simulated != int64(g.Size()) {
+		t.Fatalf("stub engine simulated %d, want %d", parallel.Stats.Simulated, g.Size())
+	}
+}
+
+// TestGridJobsShareMachinePointers documents that points of one machine
+// combination share a single Machine value, so a 10k-point grid does not
+// allocate 10k override structs.
+func TestGridJobsShareMachinePointers(t *testing.T) {
+	g := testGrid(t)
+	if g.Points[0].Machine != g.Points[1].Machine {
+		t.Fatal("adjacent benchmark points should share the machine override")
+	}
+}
+
+func ExampleSpec() {
+	spec := New("rob-ablation").
+		WithBenchmarks("swim").
+		WithNamed("MB_distr").
+		WithROB(128, 256).
+		WithLengths(100, 200)
+	grid, err := spec.Expand()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Join(grid.Axes, ","))
+	fmt.Println(grid.Size())
+	// Output:
+	// scheme,queues,entries,chains,rob
+	// 2
+}

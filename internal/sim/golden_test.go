@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden/fig*.txt from the current simulator")
+
+// TestGoldenFigures regenerates every figure the paper harness can
+// produce (under QuickOptions, one shared session) and diffs the
+// rendered tables byte-for-byte against the committed goldens, so
+// engine/job refactors provably change no paper output. Run with
+// -update-golden to rewrite the fixtures after a deliberate
+// result-affecting change.
+func TestGoldenFigures(t *testing.T) {
+	s := NewSession(QuickOptions())
+	for _, n := range FigureNumbers() {
+		tab, err := Figure(n, s)
+		if err != nil {
+			t.Fatalf("figure %d: %v", n, err)
+		}
+		got := tab.String()
+		path := filepath.Join("testdata", "golden", fmt.Sprintf("fig%d.txt", n))
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("figure %d: missing golden (run go test -run TestGoldenFigures -update-golden): %v", n, err)
+		}
+		if got != string(want) {
+			t.Errorf("figure %d drifted from %s:\n--- golden ---\n%s--- current ---\n%s",
+				n, path, want, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -72,6 +73,55 @@ func (t Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table, with
+// the title and note as a preceding heading and caption.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "_%s_\n\n", t.Note)
+	}
+	b.WriteString("| " + t.RowName)
+	for _, c := range t.Columns {
+		b.WriteString(" | " + c)
+	}
+	b.WriteString(" |\n|")
+	b.WriteString(strings.Repeat(" --- |", len(t.Columns)+1))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString("| " + r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " | %.3f", v)
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+// JSON renders the table as an indented JSON document: title, note and
+// one object per row keyed by column name.
+func (t Table) JSON() ([]byte, error) {
+	type doc struct {
+		Title string           `json:"title,omitempty"`
+		Note  string           `json:"note,omitempty"`
+		Rows  []map[string]any `json:"rows"`
+	}
+	d := doc{Title: t.Title, Note: t.Note}
+	for _, r := range t.Rows {
+		row := make(map[string]any, len(t.Columns)+1)
+		row[t.RowName] = r.Label
+		for i, c := range t.Columns {
+			if i < len(r.Values) {
+				row[c] = r.Values[i]
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return json.MarshalIndent(d, "", "  ")
 }
 
 // csvEscape quotes fields containing separators or quotes.
