@@ -1,0 +1,123 @@
+// Command distiqd serves the experiment engine over HTTP: a long-lived
+// process owning one worker pool, one in-memory result cache and
+// (optionally) one persistent distiq-v2 content-addressed store, so many
+// clients — and concurrent iq* CLI runs pointed at the same -cache-dir —
+// amortize each simulation exactly once.
+//
+// Sweeps are submitted as the strict-JSON scenario specs of
+// `iqsweep -spec` and served back through the same emitters, so the HTTP
+// bodies are byte-identical to the CLI's output for the same spec:
+//
+//	distiqd -addr :8090 -parallel 8 -cache-dir /tmp/distiq-cache &
+//
+//	curl -s -X POST localhost:8090/v1/sweeps -d '{
+//	  "name": "rob-ablation",
+//	  "benchmarks": ["swim"],
+//	  "schemes": [{"scheme": "MB_distr"}],
+//	  "rob": [128, 256]
+//	}'
+//	# -> 202 {"id": "sw-000001", "state": "queued", "points": 2, ...}
+//
+//	curl -s localhost:8090/v1/sweeps/sw-000001/status   # progress + per-sweep counts
+//	curl -s localhost:8090/v1/sweeps/sw-000001          # CSV (202 while running)
+//	curl -s 'localhost:8090/v1/sweeps/sw-000001?format=md'
+//	curl -s localhost:8090/v1/machine                   # Table 1 introspection
+//	curl -s localhost:8090/v1/benchmarks
+//	curl -s localhost:8090/v1/stats                     # engine-wide counters
+//
+// Malformed or invalid specs answer 400 before anything simulates;
+// submissions while -max-queued sweeps are already unfinished answer
+// 429. On SIGINT/SIGTERM the listener closes and every in-flight sweep
+// drains before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distiq/internal/cliutil"
+	"distiq/internal/serve"
+)
+
+func main() {
+	srv, addr, err := setup(os.Args[1:], os.Stderr)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
+		os.Exit(cliutil.ExitCode(err))
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("distiqd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // drain below bounds the wait
+	}()
+
+	log.Printf("distiqd: listening on %s", addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
+		os.Exit(1)
+	}
+	// The listener is closed; let in-flight sweeps finish so their
+	// results land in the persistent store.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// setup parses argv, validates the engine knobs through the shared
+// cliutil checks and assembles the service. It is main minus the
+// listener, so tests can exercise flag handling and drive the returned
+// handler directly.
+func setup(argv []string, stderr io.Writer) (*serve.Server, string, error) {
+	fs := flag.NewFlagSet("distiqd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8090", "listen address")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir  = fs.String("cache-dir", "", "persistent result store directory, shared with the iq* CLIs")
+		maxQueued = fs.Int("max-queued", serve.DefaultMaxQueued, "maximum admitted-but-unfinished sweeps before 429")
+		quiet     = fs.Bool("quiet", false, "suppress the sweep lifecycle log on stderr")
+	)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, "", err
+		}
+		// The FlagSet has already written the message and usage.
+		return nil, "", cliutil.BadInput(err)
+	}
+	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+		return nil, "", err
+	}
+	if err := cliutil.ValidateMaxQueued(*maxQueued); err != nil {
+		return nil, "", err
+	}
+	cfg := serve.Config{
+		Parallel:  *parallel,
+		CacheDir:  *cacheDir,
+		MaxQueued: *maxQueued,
+	}
+	if !*quiet {
+		cfg.Log = log.New(stderr, "distiqd: ", log.LstdFlags)
+	}
+	return serve.New(cfg), *addr, nil
+}

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,7 +57,9 @@ func main() {
 		os.Exit(2)
 	case err != nil:
 		fmt.Fprintf(os.Stderr, "iqsweep: %v\n", err)
-		os.Exit(1)
+		// Bad user input (engine knobs, unknown formats) exits 2 like a
+		// flag error; system failures exit 1.
+		os.Exit(cliutil.ExitCode(err))
 	}
 	// -dump-spec (and any future no-run mode) requests nothing from the
 	// engine; only summarize when jobs were actually resolved.
@@ -110,7 +113,9 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		n: *n, warmup: *warmup,
 	})
 	if err != nil {
-		return distiq.EngineStats{}, err
+		// Bad spec files and bad legacy grid flags are user input, like
+		// the engine knobs above: exit 2 (and 400 in distiqd).
+		return distiq.EngineStats{}, cliutil.BadInput(err)
 	}
 
 	if *dumpSpec {
@@ -124,7 +129,7 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 
 	grid, err := spec.Expand()
 	if err != nil {
-		return distiq.EngineStats{}, err
+		return distiq.EngineStats{}, cliutil.BadInput(err)
 	}
 
 	rc := distiq.ScenarioRunConfig{Parallel: *parallel, CacheDir: *cacheDir}
@@ -141,29 +146,20 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		return distiq.EngineStats{}, err
 	}
 
-	var out string
-	switch *format {
-	case "csv":
-		out = res.CSV()
-	case "json":
-		data, err := res.JSON()
-		if err != nil {
-			return res.Stats, err
-		}
-		out = string(data) + "\n"
-	case "md", "markdown":
-		out = res.Markdown()
-	default:
-		return res.Stats, fmt.Errorf("unknown -format %q (csv, json or md)", *format)
+	// Emit through the shared scenario emitter — the same code path the
+	// distiqd HTTP service uses, so -spec output and service bodies are
+	// byte-identical by construction.
+	var buf bytes.Buffer
+	if err := res.Emit(&buf, *format); err != nil {
+		return res.Stats, cliutil.BadInput(err)
 	}
-
 	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
+		if err := os.WriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
 			return res.Stats, err
 		}
 		return res.Stats, nil
 	}
-	_, err = io.WriteString(stdout, out)
+	_, err = stdout.Write(buf.Bytes())
 	return res.Stats, err
 }
 

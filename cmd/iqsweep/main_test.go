@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"distiq"
+	"distiq/internal/cliutil"
 )
 
 func TestInts(t *testing.T) {
@@ -168,5 +169,27 @@ func TestRunOtherFormats(t *testing.T) {
 	var bad bytes.Buffer
 	if _, err := run([]string{"-spec", specPath, "-quiet", "-format", "yaml"}, &bad, &errw); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestRunErrorsAreBadInput: spec and flag mistakes classify as user
+// input (exit 2 via cliutil.ExitCode), matching the service's 400s.
+func TestRunErrorsAreBadInput(t *testing.T) {
+	var out, errw bytes.Buffer
+	for name, argv := range map[string][]string{
+		"bad parallel":   {"-parallel", "-1"},
+		"bad queues":     {"-queues", "8,x"},
+		"unknown scheme": {"-scheme", "nope"},
+		"bad format": {"-bench", "swim", "-queues", "8", "-entries", "8",
+			"-warmup", "100", "-n", "200", "-quiet", "-format", "yaml"},
+	} {
+		_, err := run(argv, &out, &errw)
+		if err == nil {
+			t.Errorf("%s accepted", name)
+			continue
+		}
+		if cliutil.ExitCode(err) != 2 {
+			t.Errorf("%s: exit code %d, want 2 (%v)", name, cliutil.ExitCode(err), err)
+		}
 	}
 }

@@ -1,19 +1,69 @@
 // Package cliutil validates command-line inputs shared by the iq*
-// commands, so every binary rejects bad engine knobs with the same clear
-// error instead of a panic or a silent zero-value run.
+// commands and the distiqd service, so every front end rejects bad
+// engine knobs with the same clear error instead of a panic or a silent
+// zero-value run.
+//
+// The package also carries the shared error taxonomy: BadInput marks an
+// error as caused by the caller's input (bad flags, malformed or invalid
+// specs) rather than by the system, and every front end agrees on how to
+// surface that distinction — CLIs exit with status 2 (via ExitCode), the
+// HTTP service answers 400 instead of 500.
 package cliutil
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 )
 
+// badInput wraps an error to mark it as caused by invalid user input.
+type badInput struct{ err error }
+
+func (b badInput) Error() string { return b.err.Error() }
+func (b badInput) Unwrap() error { return b.err }
+
+// BadInput marks err as caused by invalid user input; nil stays nil.
+func BadInput(err error) error {
+	if err == nil {
+		return nil
+	}
+	return badInput{err}
+}
+
+// IsBadInput reports whether any error in the chain is marked BadInput.
+func IsBadInput(err error) bool {
+	var b badInput
+	return errors.As(err, &b)
+}
+
+// ExitCode maps an error to the conventional process exit status: 0 for
+// nil, 2 for user-input errors, 1 for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case IsBadInput(err):
+		return 2
+	}
+	return 1
+}
+
 // ValidateParallel rejects negative worker-pool bounds. Zero is valid
 // (it selects GOMAXPROCS).
 func ValidateParallel(n int) error {
 	if n < 0 {
-		return fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS, 1 = serial)", n)
+		return BadInput(fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS, 1 = serial)", n))
+	}
+	return nil
+}
+
+// ValidateMaxQueued rejects non-positive admission-queue bounds: a
+// service that can never admit a sweep is a misconfiguration, not a
+// policy.
+func ValidateMaxQueued(n int) error {
+	if n <= 0 {
+		return BadInput(fmt.Errorf("-max-queued %d: must be >= 1", n))
 	}
 	return nil
 }
@@ -28,17 +78,17 @@ func ValidateCacheDir(dir string) error {
 	}
 	if fi, err := os.Stat(dir); err == nil {
 		if !fi.IsDir() {
-			return fmt.Errorf("-cache-dir %s: exists and is not a directory", dir)
+			return BadInput(fmt.Errorf("-cache-dir %s: exists and is not a directory", dir))
 		}
 		return nil
 	}
 	parent := filepath.Dir(filepath.Clean(dir))
 	fi, err := os.Stat(parent)
 	if err != nil {
-		return fmt.Errorf("-cache-dir %s: parent directory %s does not exist", dir, parent)
+		return BadInput(fmt.Errorf("-cache-dir %s: parent directory %s does not exist", dir, parent))
 	}
 	if !fi.IsDir() {
-		return fmt.Errorf("-cache-dir %s: parent %s is not a directory", dir, parent)
+		return BadInput(fmt.Errorf("-cache-dir %s: parent %s is not a directory", dir, parent))
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -52,5 +54,70 @@ func TestValidateEngineFlags(t *testing.T) {
 	}
 	if err := ValidateEngineFlags(0, "/no/such/parent/cache"); err == nil {
 		t.Error("bad cache dir accepted")
+	}
+}
+
+func TestBadInputTaxonomy(t *testing.T) {
+	if BadInput(nil) != nil {
+		t.Error("BadInput(nil) != nil")
+	}
+	plain := errors.New("disk on fire")
+	if IsBadInput(plain) {
+		t.Error("plain error classified as bad input")
+	}
+	marked := BadInput(plain)
+	if !IsBadInput(marked) {
+		t.Error("marked error not classified")
+	}
+	if marked.Error() != plain.Error() {
+		t.Errorf("marking changed the message: %q", marked.Error())
+	}
+	if !errors.Is(marked, plain) {
+		t.Error("marking broke errors.Is")
+	}
+	// The mark survives further wrapping, as CLI mains and HTTP handlers
+	// wrap errors with context before classifying.
+	wrapped := fmt.Errorf("iqsweep: %w", marked)
+	if !IsBadInput(wrapped) {
+		t.Error("wrapping lost the classification")
+	}
+
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d", got)
+	}
+	if got := ExitCode(plain); got != 1 {
+		t.Errorf("ExitCode(system error) = %d", got)
+	}
+	if got := ExitCode(wrapped); got != 2 {
+		t.Errorf("ExitCode(bad input) = %d", got)
+	}
+}
+
+func TestValidatorsAreBadInput(t *testing.T) {
+	for name, err := range map[string]error{
+		"parallel":   ValidateParallel(-1),
+		"cache-dir":  ValidateCacheDir("/no/such/parent/cache"),
+		"max-queued": ValidateMaxQueued(0),
+	} {
+		if err == nil {
+			t.Errorf("%s: invalid value accepted", name)
+			continue
+		}
+		if !IsBadInput(err) {
+			t.Errorf("%s: validator error not classified as bad input: %v", name, err)
+		}
+	}
+}
+
+func TestValidateMaxQueued(t *testing.T) {
+	for _, n := range []int{1, 64, 1 << 20} {
+		if err := ValidateMaxQueued(n); err != nil {
+			t.Errorf("max-queued %d rejected: %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1} {
+		if err := ValidateMaxQueued(n); err == nil {
+			t.Errorf("max-queued %d accepted", n)
+		}
 	}
 }

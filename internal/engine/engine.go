@@ -113,6 +113,13 @@ func (e *Engine) Stats() Stats {
 // with concurrent requesters of the same job but never cached, so a later
 // request retries.
 func (e *Engine) Result(job Job) (Result, error) {
+	r, err, _ := e.resolve(job)
+	return r, err
+}
+
+// resolve is Result plus the resolution source, so batch callers can
+// account per-batch how each of their jobs was satisfied.
+func (e *Engine) resolve(job Job) (Result, error, Source) {
 	e.requested.Add(1)
 	e.total.Add(1)
 	key := job.Key()
@@ -122,14 +129,14 @@ func (e *Engine) Result(job Job) (Result, error) {
 		e.mu.Unlock()
 		e.memHits.Add(1)
 		e.finish(job, SourceMemory)
-		return r, nil
+		return r, nil, SourceMemory
 	}
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
 		<-c.done
 		e.shared.Add(1)
 		e.finish(job, SourceShared)
-		return c.res, c.err
+		return c.res, c.err, SourceShared
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[key] = c
@@ -151,7 +158,7 @@ func (e *Engine) Result(job Job) (Result, error) {
 	e.mu.Unlock()
 	close(c.done)
 	e.finish(job, src)
-	return res, err
+	return res, err, src
 }
 
 // compute resolves a job the expensive way: persistent store, then the
@@ -202,14 +209,34 @@ func (e *Engine) finish(job Job, src Source) {
 // batch are simulated once. On failure the first error in input order is
 // returned alongside the partial results.
 func (e *Engine) ResultAll(jobs []Job) ([]Result, error) {
+	return e.ResultAllProgress(jobs, nil)
+}
+
+// ResultAllProgress resolves a batch like ResultAll while additionally
+// invoking progress once per resolved job with Done/Total scoped to this
+// batch (Total is fixed at len(jobs); Done reaches Total exactly when the
+// batch completes). Batch progress is independent of — and in addition
+// to — the engine-wide Config.Progress callback, so each submitter of a
+// shared engine can track its own batch. Invocations are serialized per
+// batch.
+func (e *Engine) ResultAllProgress(jobs []Job, progress func(Progress)) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
+	var batchMu sync.Mutex
+	done := 0
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j Job) {
 			defer wg.Done()
-			results[i], errs[i] = e.Result(j)
+			var src Source
+			results[i], errs[i], src = e.resolve(j)
+			if progress != nil {
+				batchMu.Lock()
+				done++
+				progress(Progress{Done: done, Total: len(jobs), Job: j, Source: src})
+				batchMu.Unlock()
+			}
 		}(i, j)
 	}
 	wg.Wait()

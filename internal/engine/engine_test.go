@@ -212,3 +212,72 @@ func TestDefaultWorkerCount(t *testing.T) {
 		t.Fatalf("workers = %d, want 7", w)
 	}
 }
+
+// TestResultAllProgressBatchScoped: batch progress is scoped to the
+// submitted batch — Total fixed at the batch size, Done monotonically
+// reaching it — and reports per-job sources, independent of the
+// engine-wide callback (which still observes every job).
+func TestResultAllProgressBatchScoped(t *testing.T) {
+	var calls sync.Map
+	var global atomic.Int64
+	e := New(Config{
+		Workers:  4,
+		Simulate: countingSim(&calls, 0),
+		Progress: func(Progress) { global.Add(1) },
+	})
+	jobs := []Job{
+		quickJob("swim", core.Baseline64()),
+		quickJob("gzip", core.Baseline64()),
+		quickJob("swim", core.Baseline64()), // duplicate: memory or shared
+	}
+
+	var mu sync.Mutex
+	var events []Progress
+	if _, err := e.ResultAllProgress(jobs, func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(events) != len(jobs) {
+		t.Fatalf("batch progress fired %d times, want %d", len(events), len(jobs))
+	}
+	bySource := map[Source]int{}
+	for i, p := range events {
+		if p.Total != len(jobs) {
+			t.Fatalf("event %d Total = %d, want %d", i, p.Total, len(jobs))
+		}
+		if p.Done != i+1 {
+			t.Fatalf("event %d Done = %d, want %d (monotonic)", i, p.Done, i+1)
+		}
+		bySource[p.Source]++
+	}
+	if bySource[SourceSimulated] != 2 {
+		t.Fatalf("sources = %v, want 2 simulated", bySource)
+	}
+	if bySource[SourceMemory]+bySource[SourceShared] != 1 {
+		t.Fatalf("sources = %v, want 1 memory/shared for the duplicate", bySource)
+	}
+	if global.Load() != int64(len(jobs)) {
+		t.Fatalf("engine-wide progress fired %d times, want %d", global.Load(), len(jobs))
+	}
+
+	// A second batch over warm jobs is all memory hits, again batch-scoped.
+	var warm []Progress
+	if _, err := e.ResultAllProgress(jobs[:2], func(p Progress) { warm = append(warm, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != 2 || warm[1].Done != 2 || warm[1].Total != 2 {
+		t.Fatalf("warm batch events = %+v", warm)
+	}
+	for _, p := range warm {
+		if p.Source != SourceMemory {
+			t.Fatalf("warm batch source = %s", p.Source)
+		}
+	}
+	if n := totalCalls(&calls); n != 2 {
+		t.Fatalf("simulator ran %d times, want 2", n)
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"distiq/internal/engine"
@@ -92,4 +93,46 @@ func (rs *ResultSet) JSON() ([]byte, error) {
 		d.Rows = append(d.Rows, row)
 	}
 	return json.MarshalIndent(d, "", "  ")
+}
+
+// Formats lists the emitter names Emit accepts ("markdown" is an alias
+// of "md").
+var Formats = []string{"csv", "json", "md"}
+
+// ContentType returns the MIME type of an Emit format, or false for an
+// unknown format name.
+func ContentType(format string) (string, bool) {
+	switch format {
+	case "csv":
+		return "text/csv; charset=utf-8", true
+	case "json":
+		return "application/json", true
+	case "md", "markdown":
+		return "text/markdown; charset=utf-8", true
+	}
+	return "", false
+}
+
+// Emit writes the result set to w in the named format. Every front end
+// (cmd/iqsweep, the distiqd HTTP service) funnels through this one
+// function, so a given grid emits byte-identical documents whichever way
+// it is requested. The JSON document gains a trailing newline, matching
+// the historical CLI output.
+func (rs *ResultSet) Emit(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		_, err := io.WriteString(w, rs.CSV())
+		return err
+	case "json":
+		data, err := rs.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	case "md", "markdown":
+		_, err := io.WriteString(w, rs.Markdown())
+		return err
+	}
+	return fmt.Errorf("scenario: unknown format %q (csv, json or md)", format)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"distiq/internal/engine"
@@ -267,4 +268,88 @@ func ExampleSpec() {
 	// Output:
 	// scheme,queues,entries,chains,rob
 	// 2
+}
+
+// TestEmitWriterParity pins the io.Writer emitter — the single code path
+// cmd/iqsweep and the distiqd service share — to the string emitters,
+// including the JSON trailing newline and the format/MIME taxonomy.
+func TestEmitWriterParity(t *testing.T) {
+	g := testGrid(t)
+	rs, err := g.RunOn(stubEngine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	js, err := rs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"csv":      rs.CSV(),
+		"json":     string(js) + "\n",
+		"md":       rs.Markdown(),
+		"markdown": rs.Markdown(),
+	}
+	for format, body := range want {
+		var b strings.Builder
+		if err := rs.Emit(&b, format); err != nil {
+			t.Fatalf("Emit(%s): %v", format, err)
+		}
+		if b.String() != body {
+			t.Errorf("Emit(%s) differs from the string emitter:\n%s\nvs\n%s", format, b.String(), body)
+		}
+	}
+
+	var b strings.Builder
+	if err := rs.Emit(&b, "yaml"); err == nil || !strings.Contains(err.Error(), `unknown format "yaml"`) {
+		t.Fatalf("unknown format accepted: %v", err)
+	}
+
+	for _, format := range Formats {
+		if _, ok := ContentType(format); !ok {
+			t.Errorf("Formats entry %q has no content type", format)
+		}
+	}
+	if ct, ok := ContentType("md"); !ok || !strings.HasPrefix(ct, "text/markdown") {
+		t.Errorf("ContentType(md) = %q, %v", ct, ok)
+	}
+	if _, ok := ContentType("yaml"); ok {
+		t.Error("ContentType accepted yaml")
+	}
+}
+
+// TestRunOnProgressPerGrid: grid-scoped progress counts exactly this
+// grid's points (Total = grid size, Done reaches it) with per-job
+// sources, even when the engine has served other work before.
+func TestRunOnProgressPerGrid(t *testing.T) {
+	e := stubEngine(4)
+	g := testGrid(t)
+	if _, err := g.RunOn(e); err != nil { // warm the engine first
+		t.Fatal(err)
+	}
+
+	var events []engine.Progress
+	var mu sync.Mutex
+	rs, err := g.RunOnProgress(e, func(p engine.Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != g.Size() {
+		t.Fatalf("progress fired %d times, want %d", len(events), g.Size())
+	}
+	for i, p := range events {
+		if p.Total != g.Size() || p.Done != i+1 {
+			t.Fatalf("event %d = %d/%d, want %d/%d", i, p.Done, p.Total, i+1, g.Size())
+		}
+		if p.Source != engine.SourceMemory {
+			t.Fatalf("warm grid event source = %s", p.Source)
+		}
+	}
+	if rs.CSV() == "" {
+		t.Fatal("empty result set")
+	}
 }

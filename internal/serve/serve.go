@@ -1,0 +1,583 @@
+// Package serve exposes the concurrent experiment engine as a long-lived
+// HTTP service, so many clients amortize one warm in-memory cache and one
+// shared on-disk store instead of each paying cold simulations.
+//
+// The API accepts the strict-JSON scenario Spec of internal/scenario and
+// funnels results through the same emitters as cmd/iqsweep, so a sweep
+// fetched over HTTP is byte-identical to `iqsweep -spec` on the same
+// spec:
+//
+//	POST /v1/sweeps               submit a spec; 202 + sweep id, 400 on a
+//	                              malformed/invalid spec, 429 over quota,
+//	                              503 while draining
+//	GET  /v1/sweeps               status of every known sweep
+//	GET  /v1/sweeps/{id}          results (?format=csv|json|md; 202 while
+//	                              the sweep is still running)
+//	GET  /v1/sweeps/{id}/status   per-sweep progress and resolution counts
+//	GET  /v1/machine              the paper's Table 1 machine
+//	GET  /v1/benchmarks           workload names per suite
+//	GET  /v1/stats                engine-wide resolution counters
+//	GET  /healthz                 liveness
+//
+// Every error body has one stable shape: {"code": ..., "error": ...}.
+// Specs are expanded and validated before admission (invalid grids never
+// occupy a queue slot), admitted sweeps run asynchronously on the shared
+// engine's worker pool, and Drain provides graceful shutdown: new
+// submissions are refused while every in-flight sweep runs to completion.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"distiq/internal/core"
+	"distiq/internal/engine"
+	"distiq/internal/isa"
+	"distiq/internal/pipeline"
+	"distiq/internal/scenario"
+	"distiq/internal/trace"
+)
+
+// DefaultMaxQueued bounds admitted-but-unfinished sweeps when Config
+// leaves MaxQueued zero.
+const DefaultMaxQueued = 64
+
+// DefaultMaxHistory bounds retained finished sweeps when Config leaves
+// MaxHistory zero.
+const DefaultMaxHistory = 256
+
+// maxSpecBytes bounds a submitted spec document; real specs are a few
+// hundred bytes, so a megabyte is generous.
+const maxSpecBytes = 1 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+	// CacheDir, when non-empty, backs the engine with the persistent
+	// distiq-v2 content-addressed store, shared with the iq* CLIs and
+	// other distiqd processes.
+	CacheDir string
+	// MaxQueued bounds sweeps admitted but not yet finished; further
+	// submissions answer 429. Zero selects DefaultMaxQueued.
+	MaxQueued int
+	// MaxHistory bounds finished sweeps retained for result fetches;
+	// beyond it the oldest finished sweeps (and their result sets) are
+	// evicted and their ids answer 404. Zero selects DefaultMaxHistory.
+	MaxHistory int
+	// Simulate overrides the simulation function (tests inject stubs);
+	// nil selects the real simulator.
+	Simulate func(engine.Job) (engine.Result, error)
+	// Log, when non-nil, receives one line per sweep lifecycle event.
+	Log *log.Logger
+}
+
+// sweepState is the lifecycle of one admitted sweep.
+type sweepState string
+
+const (
+	stateQueued  sweepState = "queued"
+	stateRunning sweepState = "running"
+	stateDone    sweepState = "done"
+	stateFailed  sweepState = "failed"
+)
+
+// sweep is one admitted grid and its progress. The progress counters are
+// per-sweep (fed by the engine's batch-scoped progress hook), so a warm
+// resubmission reports 0 simulated even while other sweeps simulate.
+type sweep struct {
+	id   string
+	name string
+
+	mu    sync.Mutex
+	state sweepState
+	total int
+	done  int
+	// Per-sweep resolution counts by source.
+	simulated, memoryHits, diskHits, shared int64
+	res                                     *scenario.ResultSet
+	err                                     error
+}
+
+// Status is the JSON progress document of one sweep.
+type Status struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"`
+	// Points is the grid size; Done counts points resolved so far.
+	Points int `json:"points"`
+	Done   int `json:"done"`
+	// Resolution counts, per-sweep: Simulated ran the simulator;
+	// MemoryHits, DiskHits and Shared were served from the shared
+	// engine's caches or an identical in-flight job.
+	Simulated  int64  `json:"simulated"`
+	MemoryHits int64  `json:"memory_hits"`
+	DiskHits   int64  `json:"disk_hits"`
+	Shared     int64  `json:"shared"`
+	Error      string `json:"error,omitempty"`
+}
+
+// status snapshots the sweep under its lock.
+func (sw *sweep) status() Status {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.statusLocked()
+}
+
+// statusLocked snapshots the sweep; the caller holds sw.mu.
+func (sw *sweep) statusLocked() Status {
+	st := Status{
+		ID: sw.id, Name: sw.name, State: string(sw.state),
+		Points: sw.total, Done: sw.done,
+		Simulated: sw.simulated, MemoryHits: sw.memoryHits,
+		DiskHits: sw.diskHits, Shared: sw.shared,
+	}
+	if sw.err != nil {
+		st.Error = sw.err.Error()
+	}
+	return st
+}
+
+// Server is the HTTP experiment service: one shared engine, a bounded
+// admission queue of sweeps, and handlers for submission, progress,
+// results and introspection. It implements http.Handler.
+type Server struct {
+	eng        *engine.Engine
+	maxQueued  int
+	maxHistory int
+	logger     *log.Logger
+	mux        *http.ServeMux
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	order    []string // sweep ids in admission order
+	active   int      // admitted but unfinished sweeps
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup // one per in-flight sweep, for Drain
+}
+
+// New returns a Server around a fresh engine.
+func New(cfg Config) *Server {
+	maxQueued := cfg.MaxQueued
+	if maxQueued <= 0 {
+		maxQueued = DefaultMaxQueued
+	}
+	maxHistory := cfg.MaxHistory
+	if maxHistory <= 0 {
+		maxHistory = DefaultMaxHistory
+	}
+	s := &Server{
+		eng: engine.New(engine.Config{
+			Workers:  cfg.Parallel,
+			CacheDir: cfg.CacheDir,
+			Simulate: cfg.Simulate,
+		}),
+		maxQueued:  maxQueued,
+		maxHistory: maxHistory,
+		logger:     cfg.Log,
+		sweeps:     make(map[string]*sweep),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/machine", s.handleMachine)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats returns the shared engine's resolution counters.
+func (s *Server) Stats() engine.Stats { return s.eng.Stats() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// apiError is the one error-body shape of the whole API.
+type apiError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, apiError{Code: code, Error: msg})
+}
+
+// writeSpecError surfaces a spec parse/expand failure. Those errors are
+// always caller mistakes — the cliutil taxonomy's bad-input class, which
+// the CLIs surface as exit 2 and this service as 400.
+func writeSpecError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+}
+
+// handleSubmit parses, validates and expands a spec, then admits it onto
+// the bounded queue and starts it on the shared engine.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("spec exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeSpecError(w, err)
+		return
+	}
+	grid, err := spec.Expand()
+	if err != nil {
+		writeSpecError(w, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; not accepting new sweeps")
+		return
+	}
+	if s.active >= s.maxQueued {
+		n := s.active
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("admission queue is full (%d sweeps queued or running)", n))
+		return
+	}
+	s.nextID++
+	sw := &sweep{
+		id:    fmt.Sprintf("sw-%06d", s.nextID),
+		name:  spec.Name,
+		state: stateQueued,
+		total: grid.Size(),
+	}
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	s.active++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.logf("sweep %s accepted (%d points)", sw.id, sw.total)
+	// Snapshot the documented "queued" response before the sweep starts:
+	// on a warm store a tiny grid could otherwise finish first and the
+	// 202 body would surprise clients pinned to the documented shape.
+	st := sw.status()
+	go s.runSweep(sw, grid)
+
+	w.Header().Set("Location", "/v1/sweeps/"+sw.id)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// runSweep executes one admitted grid on the shared engine, tracking
+// per-sweep progress through the engine's batch-scoped progress hook.
+func (s *Server) runSweep(sw *sweep, grid *scenario.Grid) {
+	defer s.wg.Done()
+	sw.mu.Lock()
+	sw.state = stateRunning
+	sw.mu.Unlock()
+
+	res, err := grid.RunOnProgress(s.eng, func(p engine.Progress) {
+		sw.mu.Lock()
+		sw.done = p.Done
+		switch p.Source {
+		case engine.SourceSimulated:
+			sw.simulated++
+		case engine.SourceMemory:
+			sw.memoryHits++
+		case engine.SourceDisk:
+			sw.diskHits++
+		case engine.SourceShared:
+			sw.shared++
+		}
+		sw.mu.Unlock()
+	})
+
+	sw.mu.Lock()
+	if err != nil {
+		sw.state, sw.err = stateFailed, err
+	} else {
+		sw.state, sw.res = stateDone, res
+	}
+	sw.mu.Unlock()
+
+	s.mu.Lock()
+	s.active--
+	s.evictLocked()
+	s.mu.Unlock()
+
+	if st := sw.status(); err != nil {
+		s.logf("sweep %s failed: %v", sw.id, err)
+	} else {
+		s.logf("sweep %s done (%d simulated, %d memory, %d disk, %d shared)",
+			sw.id, st.Simulated, st.MemoryHits, st.DiskHits, st.Shared)
+	}
+}
+
+// evictLocked drops the oldest finished sweeps — and, with them, their
+// retained result sets — once more than maxHistory have finished, so a
+// long-lived service does not grow without bound. Unfinished sweeps are
+// never evicted (the admission queue bounds those). Called with s.mu
+// held.
+func (s *Server) evictLocked() {
+	finished := 0
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		sw.mu.Lock()
+		f := sw.state == stateDone || sw.state == stateFailed
+		sw.mu.Unlock()
+		if f {
+			finished++
+		}
+	}
+	for i := 0; finished > s.maxHistory && i < len(s.order); {
+		sw := s.sweeps[s.order[i]]
+		sw.mu.Lock()
+		f := sw.state == stateDone || sw.state == stateFailed
+		sw.mu.Unlock()
+		if !f {
+			i++
+			continue
+		}
+		delete(s.sweeps, sw.id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		finished--
+		s.logf("sweep %s evicted (history > %d)", sw.id, s.maxHistory)
+	}
+}
+
+// lookup returns the sweep for the request's {id}, or writes 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *sweep {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown sweep %q", id))
+	}
+	return sw
+}
+
+// handleStatus serves per-sweep progress.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+// handleList serves every known sweep's status in admission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sws := make([]*sweep, 0, len(s.order))
+	for _, id := range s.order {
+		sws = append(sws, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(sws))
+	for i, sw := range sws {
+		out[i] = sw.status()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []Status `json:"sweeps"`
+	}{out})
+}
+
+// handleResult serves a finished sweep's results through the scenario
+// emitters — the same code path as `iqsweep -spec`, so the bodies are
+// byte-identical. While the sweep is still queued or running it answers
+// 202 with the status document.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "csv"
+	}
+	ctype, ok := scenario.ContentType(format)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad_format",
+			fmt.Sprintf("unknown format %q (csv, json or md)", format))
+		return
+	}
+
+	// One snapshot under one lock: the 202 body below must agree with
+	// the state we branched on, even if the sweep finishes meanwhile.
+	sw.mu.Lock()
+	st := sw.statusLocked()
+	res, err := sw.res, sw.err
+	sw.mu.Unlock()
+	switch sweepState(st.State) {
+	case stateQueued, stateRunning:
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	case stateFailed:
+		writeError(w, http.StatusInternalServerError, "sweep_failed", err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", ctype)
+	if err := res.Emit(w, format); err != nil {
+		// The response may be partially written; nothing more to do
+		// than log (Emit only fails on writer errors here, the format
+		// was validated above).
+		s.logf("sweep %s: emit %s: %v", sw.id, format, err)
+	}
+}
+
+// machineDoc is the stable JSON rendering of the Table 1 machine. It is
+// assembled field-by-field (pipeline.Config embeds scheme constructors
+// that do not marshal) and mirrors the names scenario axes use.
+type machineDoc struct {
+	FetchWidth      int  `json:"fetch_width"`
+	DispatchWidth   int  `json:"dispatch_width"`
+	IssueWidthInt   int  `json:"issue_width_int"`
+	IssueWidthFP    int  `json:"issue_width_fp"`
+	CommitWidth     int  `json:"commit_width"`
+	FetchQueue      int  `json:"fetch_queue"`
+	ROBSize         int  `json:"rob_size"`
+	DecodeDepth     int  `json:"decode_depth"`
+	RedirectPenalty int  `json:"redirect_penalty"`
+	IntALUs         int  `json:"int_alus"`
+	IntMuls         int  `json:"int_muls"`
+	FPAdders        int  `json:"fp_adders"`
+	FPMuls          int  `json:"fp_muls"`
+	L1DLatency      int  `json:"l1d_latency"`
+	L2Latency       int  `json:"l2_latency"`
+	MemLatency      int  `json:"mem_latency"`
+	PerfectDisamb   bool `json:"perfect_disambiguation"`
+}
+
+// handleMachine serves the default (Table 1) machine, the baseline every
+// scenario Machine axis overrides.
+func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
+	c := pipeline.DefaultConfig(core.Baseline64())
+	doc := machineDoc{
+		FetchWidth:      c.FetchWidth,
+		DispatchWidth:   c.DispatchWidth,
+		IssueWidthInt:   c.IssueWidthInt,
+		IssueWidthFP:    c.IssueWidthFP,
+		CommitWidth:     c.CommitWidth,
+		FetchQueue:      c.FetchQueue,
+		ROBSize:         c.ROBSize,
+		DecodeDepth:     c.DecodeDepth,
+		RedirectPenalty: c.RedirectPenalty,
+		IntALUs:         c.FUCounts[isa.IntALUUnit],
+		IntMuls:         c.FUCounts[isa.IntMulUnit],
+		FPAdders:        c.FUCounts[isa.FPAddUnit],
+		FPMuls:          c.FUCounts[isa.FPMulUnit],
+		L1DLatency:      c.Hier.L1D.Latency,
+		L2Latency:       c.Hier.L2.Latency,
+		MemLatency:      c.Hier.Mem.FirstChunk,
+		PerfectDisamb:   c.PerfectDisambiguation,
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleBenchmarks serves the workload names per suite.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Int []string `json:"int"`
+		FP  []string `json:"fp"`
+	}{trace.Benchmarks(trace.SuiteInt), trace.Benchmarks(trace.SuiteFP)})
+}
+
+// statsDoc renders engine.Stats with the API's snake_case keys (the raw
+// struct has no JSON tags and would leak Go identifiers).
+type statsDoc struct {
+	Requested  int64 `json:"requested"`
+	Simulated  int64 `json:"simulated"`
+	MemoryHits int64 `json:"memory_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Shared     int64 `json:"shared"`
+	DiskErrors int64 `json:"disk_errors"`
+}
+
+// handleStats serves the engine-wide resolution counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsDoc{
+		Requested:  st.Requested,
+		Simulated:  st.Simulated,
+		MemoryHits: st.MemoryHits,
+		DiskHits:   st.DiskHits,
+		Shared:     st.Shared,
+		DiskErrors: st.DiskErrors,
+	})
+}
+
+// handleHealth is a liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// Drain stops admitting new sweeps (submissions answer 503) and blocks
+// until every in-flight sweep has finished or ctx expires, in which case
+// it reports how many sweeps were abandoned mid-flight.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.active
+		s.mu.Unlock()
+		return fmt.Errorf("serve: drain interrupted with %d sweeps in flight: %w", n, ctx.Err())
+	}
+}
+
+// SweepIDs returns every known sweep id in admission order (a stable,
+// test-friendly view of the registry).
+func (s *Server) SweepIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
