@@ -88,6 +88,18 @@
 //	  "rob": [128, 256],
 //	  "perfect_disambiguation": [false, true]
 //	}
+//
+// # Performance
+//
+// The per-job hot path is engineered to be allocation-free in steady
+// state: the cycle loop pools instruction objects, threads completion
+// events through an intrusive list, and sorts issue candidates in
+// place. Benchmark traces are generated once per process and replayed
+// from a shared bounded trace cache (internal/trace.Cache); replay is
+// bit-exact, so results, figure bytes and store fingerprints are
+// unchanged by caching. cmd/iqbench measures both layers over a fixed
+// matrix and writes BENCH_<date>.json, the repo's recorded performance
+// trajectory. See docs/ARCHITECTURE.md for the full picture.
 package distiq
 
 import (

@@ -1,0 +1,72 @@
+package distiq_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// TestDocsRelativeLinks is the docs gate: every relative link in the
+// repo's markdown (README plus docs/) must point at a file or directory
+// that exists, so the documentation cannot silently rot as files move.
+// External links are not fetched (CI must not depend on the network).
+func TestDocsRelativeLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 3 {
+		t.Fatalf("expected README.md plus at least docs/ARCHITECTURE.md and docs/API.md, found %v", files)
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Dir(file)
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-file anchor
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				t.Errorf("%s: broken relative link %q", file, m[1])
+			}
+		}
+	}
+}
+
+// TestDocsMentionEveryCommand keeps the README's command table in sync
+// with cmd/: a new command must be documented.
+func TestDocsMentionEveryCommand(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(readme), "cmd/"+e.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", e.Name())
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"distiq/internal/isa"
 	"distiq/internal/power"
 )
@@ -112,8 +110,18 @@ func (q *camQueue) OnMispredictResolved() {}
 
 // ageSorted is a helper shared by the multi-queue schemes: it sorts
 // candidate instructions oldest first under the modular age encoding.
+// The slices are tiny (one candidate per queue, so at most a few dozen
+// entries), so an insertion sort beats sort.Slice — and, unlike
+// sort.Slice, performs no allocation, keeping the per-cycle issue path
+// allocation-free in steady state.
 func ageSorted(env Env, ins []*isa.Inst) {
-	sort.Slice(ins, func(i, j int) bool {
-		return env.Older(ins[i].AgeID, ins[j].AgeID)
-	})
+	for i := 1; i < len(ins); i++ {
+		in := ins[i]
+		j := i - 1
+		for j >= 0 && env.Older(in.AgeID, ins[j].AgeID) {
+			ins[j+1] = ins[j]
+			j--
+		}
+		ins[j+1] = in
+	}
 }

@@ -40,6 +40,7 @@ func newIssueFIFO(cfg DomainConfig, opt Options) *issueFIFO {
 		cfg:    cfg,
 		queues: make([][]*isa.Inst, cfg.Queues),
 		table:  make(map[regKey]mapEntry),
+		heads:  make([]*isa.Inst, 0, cfg.Queues),
 	}
 	for i := range f.queues {
 		f.queues[i] = make([]*isa.Inst, 0, cfg.Entries)

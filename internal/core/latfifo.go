@@ -28,6 +28,7 @@ func newLatFIFO(cfg DomainConfig, opt Options) *latFIFO {
 		opt:    opt,
 		cfg:    cfg,
 		queues: make([][]*isa.Inst, cfg.Queues),
+		heads:  make([]*isa.Inst, 0, cfg.Queues),
 	}
 	for i := range l.queues {
 		l.queues[i] = make([]*isa.Inst, 0, cfg.Entries)

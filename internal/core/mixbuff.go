@@ -74,13 +74,14 @@ func newMixBUFF(cfg DomainConfig, opt Options) *mixBUFF {
 		chainN = cfg.Entries
 	}
 	m := &mixBUFF{
-		opt:      opt,
-		cfg:      cfg,
-		chainN:   chainN,
-		queues:   make([][]*isa.Inst, cfg.Queues),
-		chains:   make([][]chainState, cfg.Queues),
-		table:    make(map[regKey]mixChainMapEntry),
-		lastTick: -1,
+		opt:        opt,
+		cfg:        cfg,
+		chainN:     chainN,
+		queues:     make([][]*isa.Inst, cfg.Queues),
+		chains:     make([][]chainState, cfg.Queues),
+		table:      make(map[regKey]mixChainMapEntry),
+		lastTick:   -1,
+		candidates: make([]*isa.Inst, 0, cfg.Queues),
 	}
 	for i := range m.queues {
 		m.queues[i] = make([]*isa.Inst, 0, cfg.Entries)

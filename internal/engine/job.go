@@ -115,15 +115,64 @@ func (j Job) Fingerprint() (string, bool) {
 	return hex.EncodeToString(sum[:]), true
 }
 
+// sharedTraces caches each benchmark's generated dynamic instruction
+// stream so the jobs of a grid replay one shared immutable trace instead
+// of regenerating it per job. Replay is bit-exact (the stream is a pure
+// function of the model), so results, figure bytes and distiq-v2
+// fingerprints are unchanged by caching; SimulateUncached bypasses it.
+var sharedTraces = trace.NewCache(trace.DefaultCacheCap)
+
+// TraceCacheStats reports the shared trace cache's counters (residency,
+// hits, evictions), for observability surfaces such as cmd/iqbench.
+func TraceCacheStats() trace.CacheStats { return sharedTraces.Stats() }
+
+// WarmTraces materializes the shared trace cache for the named benchmarks
+// up to n instructions each, so subsequent timed runs pay no one-time
+// generation cost (cmd/iqbench uses it to put its serial and parallel
+// cold cases on equal footing). Warming is bounded by the shared cache's
+// capacity: past it, readers fall back to private generation as usual.
+func WarmTraces(benches []string, n uint64) error {
+	for _, b := range benches {
+		model, err := trace.ByName(b)
+		if err != nil {
+			return err
+		}
+		r := sharedTraces.Reader(model)
+		var in isa.Inst
+		for i := uint64(0); i < n; i++ {
+			r.Next(&in)
+		}
+	}
+	return nil
+}
+
 // Simulate runs one job to completion on the calling goroutine: it drives
 // the pipeline over the benchmark's synthetic model under the job's
-// configuration and assembles the performance and energy result.
+// configuration and assembles the performance and energy result. The
+// benchmark's dynamic trace is replayed from the shared trace cache.
 func Simulate(j Job) (Result, error) {
+	return simulate(j, true)
+}
+
+// SimulateUncached is Simulate with the shared trace cache bypassed: the
+// benchmark's stream is regenerated for this run. Results are identical
+// to Simulate's; it exists for memory-constrained callers and for tests
+// pinning that identity.
+func SimulateUncached(j Job) (Result, error) {
+	return simulate(j, false)
+}
+
+func simulate(j Job, cached bool) (Result, error) {
 	model, err := trace.ByName(j.Bench)
 	if err != nil {
 		return Result{}, err
 	}
-	gen := trace.NewGenerator(model)
+	var gen pipeline.Fetcher
+	if cached {
+		gen = sharedTraces.Reader(model)
+	} else {
+		gen = trace.NewGenerator(model)
+	}
 	p, err := pipeline.New(j.PipelineConfig(), gen)
 	if err != nil {
 		return Result{}, err

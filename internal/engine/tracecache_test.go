@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"distiq/internal/core"
+)
+
+// TestSimulateCachedMatchesUncached pins that replaying a job's benchmark
+// from the shared trace cache produces a result identical to regenerating
+// the stream — every stat, metric and energy component — for a mix of
+// schemes and suites.
+func TestSimulateCachedMatchesUncached(t *testing.T) {
+	opt := Options{Warmup: 2_000, Instructions: 10_000}
+	for _, bench := range []string{"gcc", "swim"} {
+		for _, cfg := range []core.Config{core.Baseline64(), core.MBDistr()} {
+			j := Job{Bench: bench, Config: cfg, Opt: opt}
+			cached, err := Simulate(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := SimulateUncached(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cached, fresh) {
+				t.Errorf("%s/%s: cached result differs from uncached:\n cached: %+v\n  fresh: %+v",
+					bench, cfg.Name, cached, fresh)
+			}
+		}
+	}
+	if st := TraceCacheStats(); st.Streams == 0 {
+		t.Error("shared trace cache recorded nothing")
+	}
+}

@@ -78,6 +78,12 @@ type Inst struct {
 	// StoreAddrReadyCycle is the cycle a store's address becomes known
 	// (issue + AddressLatency), consulted by younger loads.
 	StoreAddrReadyCycle int64
+
+	// NextEvent links instructions completing in the same cycle into the
+	// pipeline's intrusive completion-event list (an instruction is in at
+	// most one such list at a time), so scheduling a completion never
+	// allocates.
+	NextEvent *Inst
 }
 
 // HasDest reports whether the instruction writes a register.
@@ -113,4 +119,5 @@ func (in *Inst) ResetMicro() {
 	in.MemLatency = 0
 	in.Issued, in.Completed = false, false
 	in.StoreAddrReadyCycle = 0
+	in.NextEvent = nil
 }

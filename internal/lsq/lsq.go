@@ -25,8 +25,16 @@ type storeEntry struct {
 
 // LSQ is the load/store queue. Stores enter at dispatch and leave at
 // commit; loads are checked against it at issue time.
+//
+// The queue lives in a fixed backing array with a head index: commits
+// advance head instead of re-slicing the front (which would strand
+// capacity and force append to reallocate as the window slides), and
+// dispatch compacts the live entries back to the front only when the
+// array is exhausted. After warmup the queue therefore performs no
+// allocations.
 type LSQ struct {
-	stores []storeEntry // ordered by Seq (dispatch order)
+	stores []storeEntry // live entries are stores[head:], ordered by Seq
+	head   int
 
 	// Forwards and Conflicts count store-to-load forwarding events and
 	// loads delayed by unknown store addresses.
@@ -38,21 +46,31 @@ func New(capacity int) *LSQ {
 	return &LSQ{stores: make([]storeEntry, 0, capacity)}
 }
 
+// live returns the in-flight entries, oldest first.
+func (q *LSQ) live() []storeEntry { return q.stores[q.head:] }
+
 // Len returns the number of in-flight stores.
-func (q *LSQ) Len() int { return len(q.stores) }
+func (q *LSQ) Len() int { return len(q.stores) - q.head }
 
 // AddStore registers a store at dispatch time.
 func (q *LSQ) AddStore(in *isa.Inst) {
+	if len(q.stores) == cap(q.stores) && q.head > 0 {
+		// Compact committed slots away instead of growing.
+		n := copy(q.stores, q.stores[q.head:])
+		q.stores = q.stores[:n]
+		q.head = 0
+	}
 	q.stores = append(q.stores, storeEntry{inst: in})
 }
 
 // StoreIssued records that a store's address computation issued: the
 // address becomes known at addrReady (issue + AddressLatency).
 func (q *LSQ) StoreIssued(in *isa.Inst, addrReady int64) {
-	for i := range q.stores {
-		if q.stores[i].inst.Seq == in.Seq {
-			q.stores[i].issued = true
-			q.stores[i].addrReady = addrReady
+	live := q.live()
+	for i := range live {
+		if live[i].inst.Seq == in.Seq {
+			live[i].issued = true
+			live[i].addrReady = addrReady
 			return
 		}
 	}
@@ -61,14 +79,14 @@ func (q *LSQ) StoreIssued(in *isa.Inst, addrReady int64) {
 
 // CommitStore removes the oldest store (must be called in commit order).
 func (q *LSQ) CommitStore(in *isa.Inst) {
-	if len(q.stores) == 0 || q.stores[0].inst.Seq != in.Seq {
+	if q.Len() == 0 || q.stores[q.head].inst.Seq != in.Seq {
 		panic("lsq: commit out of order")
 	}
-	q.stores = q.stores[1:]
-	if len(q.stores) == 0 {
-		// Reset the backing array so the slice does not grow without
-		// bound as the window slides.
-		q.stores = q.stores[:0:cap(q.stores)]
+	q.stores[q.head] = storeEntry{} // drop the *isa.Inst reference
+	q.head++
+	if q.head == len(q.stores) {
+		q.stores = q.stores[:0]
+		q.head = 0
 	}
 }
 
@@ -76,8 +94,9 @@ func (q *LSQ) CommitStore(in *isa.Inst) {
 // memory at the given cycle: every older store must have a known address
 // by then. When it returns false the Conflicts counter is incremented.
 func (q *LSQ) LoadMayIssue(seq uint64, cycle int64) bool {
-	for i := range q.stores {
-		s := &q.stores[i]
+	live := q.live()
+	for i := range live {
+		s := &live[i]
 		if s.inst.Seq >= seq {
 			break
 		}
@@ -95,8 +114,9 @@ func (q *LSQ) LoadMayIssue(seq uint64, cycle int64) bool {
 // store may have issued its address before its data was produced). Call
 // only after LoadMayIssue returned true.
 func (q *LSQ) Forward(seq uint64, addr uint64) (*isa.Inst, bool) {
-	for i := len(q.stores) - 1; i >= 0; i-- {
-		s := &q.stores[i]
+	live := q.live()
+	for i := len(live) - 1; i >= 0; i-- {
+		s := &live[i]
 		if s.inst.Seq >= seq {
 			continue
 		}

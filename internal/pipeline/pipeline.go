@@ -50,8 +50,10 @@ type Pipeline struct {
 	lastFetchLine  uint64    // last instruction-cache line touched
 	haveFetchLine  bool
 
-	// Completion events, a ring of per-cycle lists.
-	events [eventRing][]*isa.Inst
+	// Completion events, a ring of per-cycle lists. Each list is an
+	// intrusive FIFO threaded through isa.Inst.NextEvent, so scheduling
+	// and draining completions never allocates.
+	events [eventRing]eventList
 
 	// Per-cycle issue budgets.
 	dPortsUsed int
@@ -80,6 +82,10 @@ func New(cfg Config, gen Fetcher) (*Pipeline, error) {
 		ldst:   lsq.New(cfg.ROBSize),
 		fus:    fu.New(cfg.FUCounts, cfg.IQ.DistributedFU),
 		fetchQ: make([]*isa.Inst, 0, cfg.FetchQueue),
+		// At most ROB + fetch queue + 1 (pending I-miss) instructions
+		// are ever in flight; sizing the recycling pool up front keeps
+		// the steady-state cycle loop allocation-free.
+		freeInsts: make([]*isa.Inst, 0, cfg.ROBSize+cfg.FetchQueue+1),
 	}
 	p.regs[isa.IntDomain] = rename.NewDefault(isa.IntDomain)
 	p.regs[isa.FPDomain] = rename.NewDefault(isa.FPDomain)
@@ -208,6 +214,22 @@ func (p *Pipeline) issueWidth(d isa.Domain) int {
 	return p.cfg.IssueWidthInt
 }
 
+// eventList is one ring slot's intrusive FIFO of completing instructions
+// (linked through isa.Inst.NextEvent, in schedule order).
+type eventList struct {
+	head, tail *isa.Inst
+}
+
+func (l *eventList) push(in *isa.Inst) {
+	in.NextEvent = nil
+	if l.tail == nil {
+		l.head = in
+	} else {
+		l.tail.NextEvent = in
+	}
+	l.tail = in
+}
+
 func (p *Pipeline) schedule(in *isa.Inst, at int64) {
 	if at <= p.cycle {
 		at = p.cycle + 1
@@ -215,8 +237,7 @@ func (p *Pipeline) schedule(in *isa.Inst, at int64) {
 	if at-p.cycle >= eventRing {
 		panic(fmt.Sprintf("pipeline: completion distance %d exceeds event ring", at-p.cycle))
 	}
-	slot := at % eventRing
-	p.events[slot] = append(p.events[slot], in)
+	p.events[at%eventRing].push(in)
 	in.CompleteCycle = at
 }
 
@@ -240,7 +261,9 @@ func (p *Pipeline) Step() {
 // writeback processes completion events scheduled for this cycle.
 func (p *Pipeline) writeback() {
 	slot := p.cycle % eventRing
-	for _, in := range p.events[slot] {
+	for in := p.events[slot].head; in != nil; {
+		next := in.NextEvent
+		in.NextEvent = nil
 		in.Completed = true
 		if p.tracer != nil {
 			p.tracer.OnWriteback(p.cycle, in)
@@ -259,8 +282,9 @@ func (p *Pipeline) writeback() {
 			p.schemes[isa.IntDomain].OnMispredictResolved()
 			p.schemes[isa.FPDomain].OnMispredictResolved()
 		}
+		in = next
 	}
-	p.events[slot] = p.events[slot][:0]
+	p.events[slot] = eventList{}
 }
 
 // commit retires completed instructions in order.

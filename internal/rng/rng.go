@@ -22,6 +22,13 @@ func New(seed uint64) *Source {
 // Seed resets the generator to the given seed.
 func (s *Source) Seed(seed uint64) { s.state = seed }
 
+// Clone returns an independent copy of the generator: the clone and the
+// original produce identical streams from the current position onward.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
 // Uint64 returns the next value in the stream.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"distiq/internal/engine"
+)
+
+// TestFigureBytesIdenticalWithTraceCacheOff regenerates figure tables
+// with the shared trace cache bypassed (every job regenerates its
+// benchmark stream) and asserts the rendered bytes match the cached
+// engine's exactly. Together with the golden-figure gate this pins the
+// tentpole guarantee: trace caching changes performance only, never
+// output.
+func TestFigureBytesIdenticalWithTraceCacheOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := QuickOptions()
+	cached := NewSession(opt)
+	uncached := &Session{Opt: opt, eng: engine.New(engine.Config{
+		Simulate: engine.SimulateUncached,
+	})}
+	for _, fig := range []int{2, 8, 9} {
+		a, err := Figure(fig, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure(fig, uncached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("figure %d differs with trace cache off:\n--- cached ---\n%s--- uncached ---\n%s",
+				fig, a.String(), b.String())
+		}
+	}
+}

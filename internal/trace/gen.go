@@ -71,6 +71,27 @@ func NewGenerator(m Model) *Generator {
 // Model returns the benchmark model the generator was built from.
 func (g *Generator) Model() Model { return g.model }
 
+// Clone returns an independent generator positioned exactly where g is:
+// both produce identical streams from the current position onward. The
+// immutable static program is shared; only the per-site dynamic state is
+// copied. Stream readers fork this way when they run past a stream's
+// recording cap.
+func (g *Generator) Clone() *Generator {
+	c := &Generator{
+		model:      g.model,
+		prog:       g.prog, // immutable after construction
+		r:          g.r.Clone(),
+		idx:        g.idx,
+		seq:        g.seq,
+		iters:      append([]int(nil), g.iters...),
+		memCount:   append([]uint64(nil), g.memCount...),
+		brCount:    append([]uint64(nil), g.brCount...),
+		period:     g.period,     // immutable after construction
+		periodHigh: g.periodHigh, // immutable after construction
+	}
+	return c
+}
+
 // StaticSize returns the number of static instructions in the program.
 func (g *Generator) StaticSize() int { return len(g.prog.insts) }
 
