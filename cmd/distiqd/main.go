@@ -19,6 +19,7 @@
 //	# -> 202 {"id": "sw-000001", "state": "queued", "points": 2, ...}
 //
 //	curl -s localhost:8090/v1/sweeps/sw-000001/status   # progress + per-sweep counts
+//	curl -s localhost:8090/v1/sweeps/sw-000001/stream   # NDJSON per-point results, live, grid order
 //	curl -s localhost:8090/v1/sweeps/sw-000001          # CSV (202 while running)
 //	curl -s 'localhost:8090/v1/sweeps/sw-000001?format=md'
 //	curl -s localhost:8090/v1/machine                   # Table 1 introspection
@@ -40,8 +41,6 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"distiq/internal/cliutil"
@@ -59,14 +58,17 @@ func main() {
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// The same signal context the iq* CLIs use: SIGINT/SIGTERM starts a
+	// graceful shutdown (listener closes, in-flight sweeps drain), and a
+	// second signal kills the process outright.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
 	go func() {
-		<-stop
+		<-ctx.Done()
 		log.Printf("distiqd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx) //nolint:errcheck // drain below bounds the wait
+		httpSrv.Shutdown(sctx) //nolint:errcheck // drain below bounds the wait
 	}()
 
 	log.Printf("distiqd: listening on %s", addr)

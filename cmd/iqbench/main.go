@@ -13,6 +13,10 @@
 //   - engine: the experiment engine over the same job grid, serial and
 //     parallel, cold and warm-cache, with the engine's resolution
 //     counters (simulated / memory hits / deduplicated).
+//   - client: the Client layer (the public streaming API) over the same
+//     grid versus direct engine.Simulate calls, so the per-sweep overhead
+//     of the ordered stream is a recorded number; the warm case times the
+//     pure Client + cache-lookup path with no simulation at all.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,10 +35,12 @@ import (
 	"runtime"
 	"time"
 
+	"distiq/internal/client"
 	"distiq/internal/core"
 	"distiq/internal/engine"
 	"distiq/internal/isa"
 	"distiq/internal/pipeline"
+	"distiq/internal/scenario"
 	"distiq/internal/sim"
 	"distiq/internal/trace"
 )
@@ -55,8 +62,12 @@ type Report struct {
 	Warmup       uint64 `json:"warmup_insts"`
 	Instructions uint64 `json:"measured_insts"`
 
-	Pipeline   []PipelineCase   `json:"pipeline"`
-	Engine     []EngineCase     `json:"engine"`
+	Pipeline []PipelineCase `json:"pipeline"`
+	Engine   []EngineCase   `json:"engine"`
+	// Client records the Client-layer cases (added in the distiqd Client
+	// API redesign; a compatible extension of distiq-iqbench-v1 — absent
+	// in older reports).
+	Client     []EngineCase     `json:"client,omitempty"`
 	TraceCache trace.CacheStats `json:"trace_cache"`
 }
 
@@ -176,6 +187,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if err := measureEngine(&rep, opt, workers); err != nil {
+		fmt.Fprintln(stderr, "iqbench:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "iqbench: client layer (direct simulate, client cold, client warm)")
+	if err := measureClient(&rep, opt); err != nil {
 		fmt.Fprintln(stderr, "iqbench:", err)
 		return 1
 	}
@@ -325,4 +341,68 @@ func measureEngine(rep *Report, opt engine.Options, workers int) error {
 	// Warm rerun on the same session: the whole grid resolves from the
 	// in-memory result cache; this times the lookup path.
 	return record(fmt.Sprintf("parallel%d-warm", workers), workers, true, par)
+}
+
+// measureClient times the Client layer against direct engine.Simulate
+// over the same grid, all strictly serial so the comparison isolates the
+// layer itself (ordered streaming, scenario bookkeeping) rather than
+// scheduling: "direct-simulate" is the floor, "client-serial-cold" adds
+// the Client + engine path around the same simulations, and
+// "client-serial-warm" reruns the sweep against the warm in-memory cache
+// — the pure per-point overhead with simulation cost removed.
+func measureClient(rep *Report, opt engine.Options) error {
+	spec := scenario.New("iqbench").
+		WithBenchmarks(benchmarks...).
+		WithNamed("IQ_64_64", "IF_distr", "MB_distr").
+		WithLengths(opt.Warmup, opt.Instructions)
+	grid, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	jobs := grid.Size()
+
+	// Floor: raw simulation calls, no engine, no client, no caches.
+	var direct uint64
+	start := time.Now()
+	for _, j := range grid.Jobs() {
+		r, err := engine.Simulate(j)
+		if err != nil {
+			return err
+		}
+		direct += r.Insts
+	}
+	elapsed := time.Since(start)
+	rep.Client = append(rep.Client, EngineCase{
+		Name: "direct-simulate", Parallel: 1, Jobs: jobs, Insts: direct,
+		ElapsedNS: elapsed.Nanoseconds(), InstsPerSec: float64(direct) / elapsed.Seconds(),
+		Simulated: int64(jobs),
+	})
+
+	cl := client.NewLocal(client.WithParallel(1))
+	sweep := func(name string, warm bool) error {
+		before := cl.Stats()
+		var insts uint64
+		start := time.Now()
+		st := cl.Sweep(context.Background(), grid)
+		for st.Next() {
+			insts += st.Update().Result.Insts
+		}
+		elapsed := time.Since(start)
+		if err := st.Err(); err != nil {
+			return err
+		}
+		stats := cl.Stats()
+		rep.Client = append(rep.Client, EngineCase{
+			Name: name, Parallel: 1, Warm: warm, Jobs: jobs, Insts: insts,
+			ElapsedNS: elapsed.Nanoseconds(), InstsPerSec: float64(insts) / elapsed.Seconds(),
+			Simulated:  stats.Simulated - before.Simulated,
+			MemoryHits: stats.MemoryHits - before.MemoryHits,
+			Shared:     stats.Shared - before.Shared,
+		})
+		return nil
+	}
+	if err := sweep("client-serial-cold", false); err != nil {
+		return err
+	}
+	return sweep("client-serial-warm", true)
 }

@@ -71,6 +71,22 @@ func TestQuickRunWritesReport(t *testing.T) {
 	if rep.TraceCache.Streams == 0 {
 		t.Errorf("trace cache unused: %+v", rep.TraceCache)
 	}
+
+	// Client-layer cases: direct floor, cold sweep, warm sweep — the
+	// recorded Client overhead numbers.
+	if len(rep.Client) != 3 {
+		t.Fatalf("%d client cases, want 3: %+v", len(rep.Client), rep.Client)
+	}
+	direct, ccold, cwarm := rep.Client[0], rep.Client[1], rep.Client[2]
+	if direct.Name != "direct-simulate" || direct.Simulated != int64(jobs) || direct.InstsPerSec <= 0 {
+		t.Errorf("direct case: %+v", direct)
+	}
+	if ccold.Warm || ccold.Simulated != int64(jobs) || ccold.InstsPerSec <= 0 {
+		t.Errorf("client cold case should simulate all %d jobs: %+v", jobs, ccold)
+	}
+	if !cwarm.Warm || cwarm.Simulated != 0 || cwarm.MemoryHits != int64(jobs) {
+		t.Errorf("client warm case should be all memory hits: %+v", cwarm)
+	}
 }
 
 // TestBadFlagsExit2 pins the CLI contract: usage errors exit 2.

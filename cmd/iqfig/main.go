@@ -13,6 +13,11 @@
 // job, so tables are byte-identical at any parallelism. With -cache-dir,
 // results persist on disk and a rerun performs zero new simulations.
 // Progress and an engine summary go to stderr; tables go to stdout.
+//
+// The session is bound to a signal context: Ctrl-C stops scheduling new
+// simulations (in-flight ones finish and persist to -cache-dir) and the
+// command exits 130, so an interrupted -all run resumes where it left
+// off on the next invocation.
 package main
 
 import (
@@ -24,6 +29,13 @@ import (
 	"distiq"
 	"distiq/internal/cliutil"
 )
+
+// fail reports err and exits with the taxonomy code (130 for Ctrl-C,
+// 2 for bad input, 1 otherwise).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "iqfig:", err)
+	os.Exit(cliutil.ExitCode(err))
+}
 
 func main() {
 	var (
@@ -51,17 +63,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := distiq.SessionConfig{
-		Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
-		Parallel: *parallel,
-		CacheDir: *cacheDir,
+	// The figure harness rides the Client layer: build the local client
+	// with functional options and bind the session to a signal context,
+	// so Ctrl-C cancels mid-figure.
+	opts := []distiq.ClientOption{
+		distiq.WithParallel(*parallel),
+		distiq.WithCacheDir(*cacheDir),
 	}
 	var reporter *distiq.ConsoleReporter
 	if !*quiet {
 		reporter = distiq.NewConsoleReporter(os.Stderr)
-		cfg.Progress = reporter.Report
+		opts = append(opts, distiq.WithProgress(reporter.Report))
 	}
-	s := distiq.NewSessionWith(cfg)
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	s := distiq.NewSessionClient(
+		distiq.Options{Warmup: *warmup, Instructions: *n},
+		distiq.NewLocalClient(opts...),
+	).WithContext(ctx)
 	finish := func() {
 		if reporter != nil {
 			reporter.Finish()
@@ -72,8 +91,7 @@ func main() {
 		tab, err := distiq.CycleTimeStudy(s)
 		finish()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "iqfig:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Print(tab)
 		summarize(s)
@@ -91,8 +109,7 @@ func main() {
 		tab, err := distiq.Figure(fn, s)
 		finish()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "iqfig:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		switch {
 		case *csv:

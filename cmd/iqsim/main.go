@@ -64,19 +64,26 @@ func main() {
 	if *traceN > 0 {
 		res, err = runTraced(*bench, cfg, *warmup, *n, *traceN)
 	} else {
-		s := distiq.NewSessionWith(distiq.SessionConfig{
-			Opt:      distiq.Options{Warmup: *warmup, Instructions: *n},
-			Parallel: *parallel,
-			CacheDir: *cacheDir,
+		// One job through the Client layer, bound to a signal context so
+		// Ctrl-C interrupts a long run cleanly (exit 130).
+		ctx, stop := cliutil.SignalContext()
+		defer stop()
+		cl := distiq.NewLocalClient(
+			distiq.WithParallel(*parallel),
+			distiq.WithCacheDir(*cacheDir),
+		)
+		res, err = cl.Run(ctx, distiq.Job{
+			Bench:  *bench,
+			Config: cfg,
+			Opt:    distiq.Options{Warmup: *warmup, Instructions: *n},
 		})
-		res, err = s.Result(*bench, cfg)
-		if st := s.EngineStats(); st.DiskHits > 0 {
+		if st := cl.Stats(); st.DiskHits > 0 {
 			fmt.Fprintln(os.Stderr, "iqsim: result served from the persistent store")
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqsim:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 
 	st := res.Stats

@@ -6,14 +6,19 @@
 // queues × entries flags, which generate the equivalent spec
 // (-dump-spec prints it).
 //
-// The whole grid is submitted to the experiment engine as one batch, so
-// simulations shard across -parallel workers while output rows stay in
-// deterministic grid order; -cache-dir reuses results across invocations,
-// so a warm rerun performs zero simulations and emits identical bytes.
+// The grid runs through the Client layer: locally on the in-process
+// engine (simulations shard across -parallel workers, -cache-dir reuses
+// results across invocations) or, with -server, on a remote distiqd via
+// its streaming endpoint — same grid, byte-identical output either way.
+// Output rows stay in deterministic grid order; a warm rerun performs
+// zero simulations and emits identical bytes. Ctrl-C cancels cleanly
+// (exit 130): scheduling stops, in-flight simulations finish and
+// persist, and a rerun completes only the remainder.
 //
 // Usage:
 //
 //	iqsweep -spec grid.json -cache-dir /tmp/distiq-cache
+//	iqsweep -spec grid.json -server http://localhost:8090
 //	iqsweep -spec grid.json -format md -o results.md
 //	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
 //	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
@@ -92,8 +97,9 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		n       = fs.Uint64("n", 60_000, "instructions per run")
 		warmup  = fs.Uint64("warmup", 10_000, "warmup instructions")
 
-		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = fs.String("cache-dir", "", "persistent result store directory, reused across runs")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; local runs)")
+		cacheDir = fs.String("cache-dir", "", "persistent result store directory, reused across runs (local runs)")
+		server   = fs.String("server", "", "run the sweep on a distiqd at this base URL instead of in-process")
 		quiet    = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -132,35 +138,64 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		return distiq.EngineStats{}, cliutil.BadInput(err)
 	}
 
-	rc := distiq.ScenarioRunConfig{Parallel: *parallel, CacheDir: *cacheDir}
+	// The sweep runs through the Client layer, local or remote by flag;
+	// Ctrl-C cancels the context, which stops scheduling new points
+	// (in-flight ones finish and persist) and exits 130.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
 	var reporter *distiq.ConsoleReporter
-	if !*quiet {
-		reporter = distiq.NewConsoleReporter(stderr)
-		rc.Progress = reporter.Report
+	var cl distiq.Client
+	var local *distiq.LocalClient
+	if *server != "" {
+		cl = distiq.NewRemoteClient(*server)
+	} else {
+		opts := []distiq.ClientOption{
+			distiq.WithParallel(*parallel),
+			distiq.WithCacheDir(*cacheDir),
+		}
+		if !*quiet {
+			reporter = distiq.NewConsoleReporter(stderr)
+			opts = append(opts, distiq.WithProgress(reporter.Report))
+		}
+		local = distiq.NewLocalClient(opts...)
+		cl = local
 	}
-	res, err := grid.Run(rc)
+	stream := cl.Sweep(ctx, grid)
+	res, err := stream.ResultSet()
 	if reporter != nil {
 		reporter.Finish()
 	}
+	stats := runStats(local, stream)
 	if err != nil {
-		return distiq.EngineStats{}, err
+		return stats, err
 	}
 
 	// Emit through the shared scenario emitter — the same code path the
-	// distiqd HTTP service uses, so -spec output and service bodies are
-	// byte-identical by construction.
+	// distiqd HTTP service uses, so -spec output, -server output and
+	// service bodies are byte-identical by construction.
 	var buf bytes.Buffer
 	if err := res.Emit(&buf, *format); err != nil {
-		return res.Stats, cliutil.BadInput(err)
+		return stats, cliutil.BadInput(err)
 	}
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
-			return res.Stats, err
+			return stats, err
 		}
-		return res.Stats, nil
+		return stats, nil
 	}
 	_, err = stdout.Write(buf.Bytes())
-	return res.Stats, err
+	return stats, err
+}
+
+// runStats reports how the sweep's jobs were resolved: the engine's own
+// counters for a local run, or counters reconstructed from the stream's
+// per-point sources for a remote one (the service resolved the jobs; the
+// stream observed how).
+func runStats(local *distiq.LocalClient, stream *distiq.SweepStream) distiq.EngineStats {
+	if local != nil {
+		return local.Stats()
+	}
+	return stream.Counts().Stats()
 }
 
 // legacyFlags carries the pre-spec grid flags; assembleSpec turns them

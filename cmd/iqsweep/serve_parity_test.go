@@ -95,4 +95,23 @@ func TestServeParityWithCLI(t *testing.T) {
 				format, want, body)
 		}
 	}
+
+	// `iqsweep -server` drives the same service through the RemoteClient
+	// streaming path: bytes must match the local runs, with zero
+	// simulations (the store is warm) reported through the stream.
+	for format, want := range cli {
+		var out, errw bytes.Buffer
+		stats, err := run([]string{"-spec", specPath, "-server", ts.URL,
+			"-quiet", "-format", format}, &out, &errw)
+		if err != nil {
+			t.Fatalf("-server run (%s): %v", format, err)
+		}
+		if out.String() != want {
+			t.Errorf("%s body differs between -server and local runs:\n--- local ---\n%s--- server ---\n%s",
+				format, want, out.String())
+		}
+		if stats.Simulated != 0 || stats.Requested == 0 {
+			t.Errorf("-server run (%s) stats = %+v, want warm stream counts", format, stats)
+		}
+	}
 }

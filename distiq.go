@@ -18,13 +18,51 @@
 //   - experiment harnesses regenerating every figure of the evaluation,
 //     backed by a concurrent experiment engine.
 //
-// Quick start:
+// Quick start — the Client API is the front door: one context-aware
+// interface over both execution substrates, the in-process engine
+// (NewLocalClient) and a remote distiqd service (NewRemoteClient),
+// configured with functional options:
 //
-//	res, err := distiq.Run("swim", distiq.MBDistr(), distiq.DefaultOptions())
+//	cl := distiq.NewLocalClient(
+//		distiq.WithParallel(8),                // worker-pool bound (0 = GOMAXPROCS)
+//		distiq.WithCacheDir("/tmp/distiq-cache"), // reuse results across processes
+//	)
+//	res, err := cl.Run(ctx, distiq.Job{
+//		Bench:  "swim",
+//		Config: distiq.MBDistr(),
+//		Opt:    distiq.DefaultOptions(),
+//	})
 //	if err != nil { ... }
 //	fmt.Printf("IPC %.2f, issue-logic energy %.0f pJ\n", res.IPC(), res.IQEnergy)
 //
-// To regenerate a figure from the paper:
+// Whole experiment grids stream point by point, in deterministic grid
+// order, whatever the parallelism:
+//
+//	grid, _ := distiq.NewScenario("rob-ablation").
+//		WithSuites("fp").
+//		WithNamed("MB_distr", "IQ_64_64").
+//		WithROB(128, 256).
+//		Expand()
+//	stream := cl.Sweep(ctx, grid)
+//	for stream.Next() {
+//		u := stream.Update() // u.Index, u.Point, u.Result — grid order
+//	}
+//	if err := stream.Err(); err != nil { ... } // context.Canceled on Ctrl-C
+//
+// or collect everything through the shared emitters (byte-identical to
+// iqsweep and the distiqd HTTP bodies):
+//
+//	res, err := cl.Sweep(ctx, grid).ResultSet()
+//	fmt.Print(res.CSV())
+//
+// Swapping the substrate is one constructor — the rest of the program is
+// unchanged:
+//
+//	var cl distiq.Client = distiq.NewRemoteClient("http://localhost:8090")
+//
+// Cancelling the context stops scheduling new simulations promptly;
+// in-flight ones finish and persist, so a warm rerun completes only the
+// remainder. To regenerate a figure from the paper:
 //
 //	s := distiq.NewSession(distiq.DefaultOptions())
 //	table, err := distiq.Figure(8, s)
@@ -32,29 +70,23 @@
 //
 // # Experiment engine
 //
-// A Session delegates every benchmark × configuration job to the
-// concurrent experiment engine (internal/engine). The engine shards
-// independent jobs across a bounded worker pool (GOMAXPROCS-wide by
-// default), deduplicates identical in-flight jobs single-flight style, and
-// memoizes results in a goroutine-safe in-memory cache. Simulations are
-// deterministic per job — the workload generators use per-instance seeded
-// PRNGs and the pipeline holds no global state — so tables assembled from
-// parallel runs are byte-identical to serial ones.
+// Clients (and the Session figure harness on top of them) delegate every
+// benchmark × configuration job to the concurrent experiment engine
+// (internal/engine). The engine shards independent jobs across a bounded
+// worker pool (GOMAXPROCS-wide by default), deduplicates identical
+// in-flight jobs single-flight style, and memoizes results in a
+// goroutine-safe in-memory cache. Simulations are deterministic per job —
+// the workload generators use per-instance seeded PRNGs and the pipeline
+// holds no global state — so tables assembled from parallel runs are
+// byte-identical to serial ones.
 //
-// NewSessionWith exposes the engine's knobs. With a CacheDir, results
-// also persist to an on-disk store shared across processes: one JSON file
-// per result, content-addressed by a SHA-256 of the job's structural
-// identity (benchmark, configuration name and shape, warmup and measured
-// instruction counts, plus a format version), written atomically so
-// concurrent engines can share a directory. A warm rerun of a figure or
-// sweep performs zero new simulations.
-//
-//	s := distiq.NewSessionWith(distiq.SessionConfig{
-//		Opt:      distiq.DefaultOptions(),
-//		Parallel: 8,                  // worker-pool bound (0 = GOMAXPROCS)
-//		CacheDir: "/tmp/distiq-cache", // reuse results across processes
-//	})
-//	table, err := distiq.Figure(8, s)
+// With WithCacheDir, results also persist to an on-disk store shared
+// across processes: one JSON file per result, content-addressed by a
+// SHA-256 of the job's structural identity (benchmark, configuration name
+// and shape, warmup and measured instruction counts, plus a format
+// version), written atomically so concurrent engines can share a
+// directory. A warm rerun of a figure or sweep performs zero new
+// simulations.
 //
 // # Scenario grids
 //
@@ -103,14 +135,76 @@
 package distiq
 
 import (
+	"distiq/internal/client"
 	"distiq/internal/core"
 	"distiq/internal/engine"
 	"distiq/internal/isa"
 	"distiq/internal/pipeline"
 	"distiq/internal/scenario"
+	"distiq/internal/serve"
 	"distiq/internal/sim"
 	"distiq/internal/trace"
 )
+
+// Client layer types: the unified, context-aware experiment API. A
+// Client resolves single jobs (Run) and scenario grids (Sweep, streaming
+// per-point results in deterministic grid order); LocalClient executes
+// in process on the concurrent engine, RemoteClient speaks to a distiqd
+// service — same interface, same bytes out.
+type (
+	// Client is the one experiment interface over every execution
+	// substrate.
+	Client = client.Client
+	// LocalClient runs jobs on the in-process concurrent engine.
+	LocalClient = client.Local
+	// RemoteClient runs jobs on a distiqd service over its streaming
+	// NDJSON endpoint.
+	RemoteClient = client.Remote
+	// Job identifies one unit of experiment work (benchmark,
+	// configuration, sizing, optional machine override).
+	Job = client.Job
+	// SweepStream delivers a sweep's per-point results in grid order.
+	SweepStream = client.Stream
+	// SweepUpdate is one resolved grid point of a stream.
+	SweepUpdate = client.Update
+	// SweepCounts aggregates a stream's resolution sources.
+	SweepCounts = client.Counts
+	// ClientOption configures NewLocalClient / NewRemoteClient.
+	ClientOption = client.Option
+)
+
+// Client layer entry points.
+var (
+	// NewLocalClient returns the in-process Client. Options:
+	// WithParallel, WithCacheDir, WithProgress.
+	NewLocalClient = client.NewLocal
+	// NewRemoteClient returns the Client for the distiqd at a base URL.
+	// Options: WithHTTPClient.
+	NewRemoteClient = client.NewRemote
+	// WithParallel bounds a local client's concurrent simulations.
+	WithParallel = client.WithParallel
+	// WithCacheDir persists a local client's results to the shared
+	// distiq-v2 store.
+	WithCacheDir = client.WithCacheDir
+	// WithProgress installs a per-resolved-job callback on a local
+	// client.
+	WithProgress = client.WithProgress
+	// WithHTTPClient overrides a remote client's http.Client.
+	WithHTTPClient = client.WithHTTPClient
+)
+
+// Service embedding: the distiqd HTTP experiment service as a library,
+// for programs that want to host the API themselves (see
+// examples/remotesweep).
+type (
+	// Server is the HTTP experiment service (an http.Handler).
+	Server = serve.Server
+	// ServerConfig configures a Server.
+	ServerConfig = serve.Config
+)
+
+// NewServer returns the HTTP experiment service around a fresh engine.
+var NewServer = serve.New
 
 // Core configuration types.
 type (
@@ -169,6 +263,10 @@ type (
 	Session = sim.Session
 	// SessionConfig configures a Session's engine: parallelism,
 	// persistent cache directory and progress reporting.
+	//
+	// Deprecated: construct a Client with NewLocalClient and the
+	// functional options instead; SessionConfig remains as a thin shim
+	// over exactly that client.
 	SessionConfig = sim.SessionConfig
 	// EngineStats counts how jobs were resolved (simulated, memory
 	// hits, disk hits, deduplicated).
@@ -205,7 +303,15 @@ var (
 	NewSession = sim.NewSession
 	// NewSessionWith returns a session with explicit engine
 	// configuration (parallelism, cache directory, progress).
+	//
+	// Deprecated: build a LocalClient with the functional options and
+	// wrap it with NewSessionClient; this shim does exactly that.
 	NewSessionWith = sim.NewSessionWith
+	// NewSessionClient returns a figure session running every job
+	// through an existing LocalClient (sharing its caches and worker
+	// pool); bind a context with Session.WithContext to make figure
+	// generation cancellable.
+	NewSessionClient = sim.NewSessionClient
 	// NewConsoleReporter returns a progress reporter for
 	// SessionConfig.Progress, writing a status line to w.
 	NewConsoleReporter = engine.NewConsoleReporter
@@ -248,6 +354,10 @@ type (
 	ScenarioResults = scenario.ResultSet
 	// ScenarioRunConfig configures grid execution (parallelism,
 	// persistent cache, progress).
+	//
+	// Deprecated: sweep grids through the Client layer
+	// (NewLocalClient(...).Sweep), which adds cancellation and
+	// per-point streaming over the same engine.
 	ScenarioRunConfig = scenario.RunConfig
 	// Machine overrides full-machine parameters on one engine job
 	// (nil = the paper's Table 1 machine).

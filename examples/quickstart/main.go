@@ -1,9 +1,15 @@
 // Quickstart: simulate one benchmark under the paper's proposed MB_distr
 // issue logic and the conventional IQ_64_64 baseline, and compare
 // performance and issue-logic energy — the paper's headline trade-off.
+//
+// Jobs run through the Client API: one context-aware interface whose
+// local implementation shards work across the concurrent engine (and
+// whose remote implementation speaks to a distiqd service — see
+// examples/remotesweep).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,13 +17,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	cl := distiq.NewLocalClient() // GOMAXPROCS workers, in-memory caching
 	opt := distiq.Options{Warmup: 20_000, Instructions: 100_000}
 
-	baseline, err := distiq.Run("swim", distiq.Baseline64(), opt)
+	baseline, err := cl.Run(ctx, distiq.Job{Bench: "swim", Config: distiq.Baseline64(), Opt: opt})
 	if err != nil {
 		log.Fatal(err)
 	}
-	proposed, err := distiq.Run("swim", distiq.MBDistr(), opt)
+	proposed, err := cl.Run(ctx, distiq.Job{Bench: "swim", Config: distiq.MBDistr(), Opt: opt})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,12 +5,16 @@
 // grid instead of hand-written loops.
 //
 // The grid crosses {MB_distr, IQ_64_64} x ROB {128, 256} x perfect
-// disambiguation {off, on} over two FP benchmarks, shards it across the
-// engine's worker pool, and prints a markdown table. Rerunning with a
-// populated cache directory performs zero new simulations.
+// disambiguation {off, on} over two FP benchmarks and runs through the
+// Client API: results stream back point by point in deterministic grid
+// order while the sweep shards across the worker pool, then the stream's
+// counts say how each point was resolved. Rerunning with a populated
+// cache directory performs zero new simulations; Ctrl-C would cancel the
+// context and stop the sweep cleanly.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,11 +35,26 @@ func main() {
 	}
 	fmt.Printf("grid: %d points over axes %v\n\n", grid.Size(), grid.Axes)
 
-	res, err := grid.Run(distiq.ScenarioRunConfig{})
+	cl := distiq.NewLocalClient(distiq.WithParallel(0)) // 0 = GOMAXPROCS
+	stream := cl.Sweep(context.Background(), grid)
+	for stream.Next() {
+		u := stream.Update()
+		fmt.Printf("  [%2d/%d] %-8s %v  IPC %.3f  (%s)\n",
+			u.Index+1, grid.Size(), u.Point.Bench, u.Point.Values, u.Result.IPC(), u.Source)
+	}
+	if err := stream.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same grid again on the client's warm caches: every point is a
+	// memory hit, and the collected table is byte-identical.
+	res, err := cl.Sweep(context.Background(), grid).ResultSet()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println()
 	fmt.Print(res.Markdown())
-	fmt.Printf("\nengine: %d simulated, %d deduplicated\n",
-		res.Stats.Simulated, res.Stats.Shared)
+	c := stream.Counts()
+	fmt.Printf("\nfirst pass: %d simulated, %d deduplicated; engine total: %+v\n",
+		c.Simulated, c.Shared, cl.Stats().Simulated)
 }

@@ -1,0 +1,301 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"distiq/internal/cliutil"
+	"distiq/internal/core"
+	"distiq/internal/engine"
+	"distiq/internal/scenario"
+)
+
+// maxStreamLine bounds one NDJSON stream line; result documents are a
+// few kilobytes, so four megabytes is generous.
+const maxStreamLine = 4 << 20
+
+// Remote is the Client over a distiqd service: sweeps are submitted as
+// scenario specs to POST /v1/sweeps and results consumed from the
+// streaming NDJSON endpoint GET /v1/sweeps/{id}/stream, so many remote
+// clients amortize the service's one warm engine. The stream arrives in
+// grid order straight off the wire; results decode to the exact
+// engine.Result the server computed, so documents assembled from a
+// Remote sweep are byte-identical to a Local sweep of the same grid.
+type Remote struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemote returns a Remote client for the distiqd at baseURL (e.g.
+// "http://localhost:8090"). Recognized options: WithHTTPClient.
+func NewRemote(baseURL string, opts ...Option) *Remote {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hc := cfg.httpClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Base returns the service base URL.
+func (c *Remote) Base() string { return c.base }
+
+// Run resolves one job by submitting it as a single-point sweep. The job
+// must be expressible as a scenario spec (named or parametric scheme, no
+// Custom factories) — SpecForJob documents the mapping.
+func (c *Remote) Run(ctx context.Context, job Job) (engine.Result, error) {
+	spec, err := SpecForJob(job)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	grid, err := spec.Expand()
+	if err != nil {
+		return engine.Result{}, err
+	}
+	st := c.Sweep(ctx, grid)
+	if !st.Next() {
+		if st.Err() != nil {
+			return engine.Result{}, st.Err()
+		}
+		return engine.Result{}, errors.New("client: remote stream delivered no result")
+	}
+	res := st.Update().Result
+	for st.Next() {
+	}
+	return res, st.Err()
+}
+
+// Sweep submits the grid's spec and streams per-point results from the
+// service in grid order. Cancelling ctx aborts the HTTP stream promptly
+// (the stream error unwraps to context.Canceled); the service finishes
+// the sweep server-side and persists into its store, so resubmitting the
+// same grid later costs no re-simulation of completed points.
+func (c *Remote) Sweep(ctx context.Context, grid *scenario.Grid) *Stream {
+	st := newStream(grid)
+	go func() {
+		defer st.finish()
+		if err := c.stream(ctx, grid, st); err != nil {
+			st.fail(err)
+		}
+	}()
+	return st
+}
+
+// stream drives one submit + NDJSON consumption cycle, pushing in-order
+// updates onto st.
+func (c *Remote) stream(ctx context.Context, grid *scenario.Grid, st *Stream) error {
+	id, err := c.submit(ctx, grid.Spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sweeps/"+id+"/stream", nil)
+	if err != nil {
+		return fmt.Errorf("client: stream sweep %s: %w", id, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: stream sweep %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.errorFrom("stream sweep "+id, resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	next := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: sweep %s: malformed stream event: %w", id, err)
+		}
+		switch {
+		case ev.Error != "":
+			return fmt.Errorf("client: sweep %s failed at point %d: %s", id, ev.Index, ev.Error)
+		case ev.Done:
+			if next != grid.Size() {
+				return fmt.Errorf("client: sweep %s stream ended after %d of %d points", id, next, grid.Size())
+			}
+			return nil
+		default:
+			if ev.Result == nil || ev.Index != next || next >= grid.Size() {
+				return fmt.Errorf("client: sweep %s: out-of-order stream event (index %d, expected %d)", id, ev.Index, next)
+			}
+			st.send(Update{Index: next, Point: grid.Points[next], Result: *ev.Result, Source: ev.Source})
+			next++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: stream sweep %s: %w", id, err)
+	}
+	return fmt.Errorf("client: sweep %s stream truncated after %d of %d points", id, next, grid.Size())
+}
+
+// submit posts the spec and returns the admitted sweep id.
+func (c *Remote) submit(ctx context.Context, spec *scenario.Spec) (string, error) {
+	data, err := spec.JSON()
+	if err != nil {
+		return "", fmt.Errorf("client: encode spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(data))
+	if err != nil {
+		return "", fmt.Errorf("client: submit sweep: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: submit sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", c.errorFrom("submit sweep", resp)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil || accepted.ID == "" {
+		return "", fmt.Errorf("client: submit sweep: malformed acceptance body (%v)", err)
+	}
+	return accepted.ID, nil
+}
+
+// errorFrom renders the service's uniform {"code","error"} body as an
+// error. Spec rejections (HTTP 400) carry the shared bad-input marker,
+// so CLI front ends surface them as exit 2, matching local validation.
+func (c *Remote) errorFrom(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var ae struct {
+		Code string `json:"code"`
+		Msg  string `json:"error"`
+	}
+	var err error
+	if json.Unmarshal(body, &ae) == nil && ae.Msg != "" {
+		err = fmt.Errorf("client: %s: %s (%s, HTTP %d)", op, ae.Msg, ae.Code, resp.StatusCode)
+	} else {
+		err = fmt.Errorf("client: %s: HTTP %d", op, resp.StatusCode)
+	}
+	if resp.StatusCode == http.StatusBadRequest {
+		err = cliutil.BadInput(err)
+	}
+	return err
+}
+
+// schemeKindName maps a parametric scheme kind to its spec spelling.
+func schemeKindName(k core.Kind) string {
+	switch k {
+	case core.KindIssueFIFO:
+		return "IssueFIFO"
+	case core.KindLatFIFO:
+		return "LatFIFO"
+	case core.KindMixBUFF:
+		return "MixBUFF"
+	}
+	return ""
+}
+
+// SpecForJob renders one engine job as an equivalent single-point
+// scenario spec — the form a Remote client can submit. Named
+// configurations map to a named scheme axis, parametric ones to their
+// scheme kind plus queue shape; machine overrides map to single-value
+// machine axes. The candidate spec is verified by expansion: it is
+// returned only if its one point's structural identity (Job.Key) matches
+// the input exactly, so a remote run simulates precisely the requested
+// job or fails loudly. Jobs with Custom scheme factories are never
+// expressible.
+func SpecForJob(j Job) (*scenario.Spec, error) {
+	if j.Config.Int.Custom != nil || j.Config.FP.Custom != nil {
+		return nil, fmt.Errorf("client: %s under %s: custom schemes cannot run remotely", j.Bench, j.Config.Name)
+	}
+	axes := []scenario.SchemeAxis{{Scheme: j.Config.Name}}
+	if kind := schemeKindName(j.Config.FP.Kind); kind != "" {
+		ax := scenario.SchemeAxis{
+			Scheme:  kind,
+			IntQ:    fmt.Sprintf("%dx%d", j.Config.Int.Queues, j.Config.Int.Entries),
+			Queues:  []int{j.Config.FP.Queues},
+			Entries: []int{j.Config.FP.Entries},
+			Distr:   j.Config.DistributedFU,
+		}
+		if kind == "MixBUFF" {
+			ax.Chains = []int{j.Config.FP.Chains}
+		}
+		axes = append(axes, ax)
+	}
+	for _, ax := range axes {
+		spec := scenario.New("").
+			WithBenchmarks(j.Bench).
+			WithScheme(ax).
+			WithLengths(j.Opt.Warmup, j.Opt.Instructions)
+		applyMachineAxes(spec, j.Machine)
+		grid, err := spec.Expand()
+		if err != nil || grid.Size() != 1 {
+			continue
+		}
+		if grid.Points[0].Job(spec.Opt()).Key() == j.Key() {
+			return spec, nil
+		}
+	}
+	return nil, fmt.Errorf("client: %s under %s is not expressible as a scenario spec", j.Bench, j.Config.Name)
+}
+
+// applyMachineAxes maps a machine override's non-zero fields onto
+// single-value spec axes. Fields no axis can express (e.g. a dispatch
+// width differing from fetch) survive to the Key comparison in
+// SpecForJob, which then rejects the spec.
+func applyMachineAxes(spec *scenario.Spec, m *engine.Machine) {
+	if m == nil {
+		return
+	}
+	if m.ROBSize != 0 {
+		spec.WithROB(m.ROBSize)
+	}
+	if m.FetchWidth != 0 {
+		spec.WithFetchWidth(m.FetchWidth)
+	}
+	if m.IssueWidthInt != 0 {
+		spec.WithIssueWidth(m.IssueWidthInt)
+	}
+	if m.CommitWidth != 0 {
+		spec.WithCommitWidth(m.CommitWidth)
+	}
+	if m.IntALUs != 0 {
+		spec.WithIntALUs(m.IntALUs)
+	}
+	if m.IntMuls != 0 {
+		spec.WithIntMuls(m.IntMuls)
+	}
+	if m.FPAdders != 0 {
+		spec.WithFPAdders(m.FPAdders)
+	}
+	if m.FPMuls != 0 {
+		spec.WithFPMuls(m.FPMuls)
+	}
+	if m.L1DLatency != 0 {
+		spec.WithL1DLatency(m.L1DLatency)
+	}
+	if m.L2Latency != 0 {
+		spec.WithL2Latency(m.L2Latency)
+	}
+	if m.MemLatency != 0 {
+		spec.WithMemLatency(m.MemLatency)
+	}
+	if m.PerfectDisambiguation {
+		spec.WithPerfectDisambiguation(true)
+	}
+}
+
+// compile-time interface check.
+var _ Client = (*Remote)(nil)

@@ -1,0 +1,37 @@
+package client
+
+import "distiq/internal/engine"
+
+// StreamEvent is one NDJSON line of the distiqd per-point results stream
+// (GET /v1/sweeps/{id}/stream). The server (internal/serve) encodes this
+// exact type and Remote decodes it, so the wire format has one
+// definition.
+//
+// Three shapes appear on the wire, in grid order:
+//
+//	{"index":0,"benchmark":"swim","source":"simulated","result":{...}}  per point
+//	{"index":7,"error":"..."}                                           terminal failure
+//	{"done":true,"points":12}                                           terminal success
+//
+// The result object is the engine's Result JSON — the same encoding the
+// persistent store uses — so a decoded stream reconstructs results
+// exactly and documents emitted from them are byte-identical to the
+// server's own emitters.
+type StreamEvent struct {
+	// Index is the point's position in the grid (present on per-point
+	// and error events; 0 on the done event, which carries no point).
+	Index int `json:"index"`
+	// Benchmark names the point's workload (informational; the client
+	// already knows the grid).
+	Benchmark string `json:"benchmark,omitempty"`
+	// Source says how the server resolved the point.
+	Source engine.Source `json:"source,omitempty"`
+	// Result is the point's outcome; nil on terminal events.
+	Result *engine.Result `json:"result,omitempty"`
+	// Error terminates a failed stream (set on the first failed point in
+	// grid order).
+	Error string `json:"error,omitempty"`
+	// Done terminates a successful stream; Points echoes the grid size.
+	Done   bool `json:"done,omitempty"`
+	Points int  `json:"points,omitempty"`
+}

@@ -7,14 +7,20 @@
 // error as caused by the caller's input (bad flags, malformed or invalid
 // specs) rather than by the system, and every front end agrees on how to
 // surface that distinction — CLIs exit with status 2 (via ExitCode), the
-// HTTP service answers 400 instead of 500.
+// HTTP service answers 400 instead of 500. Interruption is part of the
+// same taxonomy: an error chain carrying context.Canceled (a Ctrl-C
+// propagated through a context-aware sweep) exits 130, the shell
+// convention for SIGINT.
 package cliutil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 )
 
 // badInput wraps an error to mark it as caused by invalid user input.
@@ -37,16 +43,35 @@ func IsBadInput(err error) bool {
 	return errors.As(err, &b)
 }
 
+// ExitInterrupted is the conventional exit status of a process stopped
+// by SIGINT (128 + signal 2).
+const ExitInterrupted = 130
+
 // ExitCode maps an error to the conventional process exit status: 0 for
-// nil, 2 for user-input errors, 1 for everything else.
+// nil, 130 for cancellation (Ctrl-C through a context-aware run), 2 for
+// user-input errors, 1 for everything else.
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return 0
+	case errors.Is(err, context.Canceled):
+		return ExitInterrupted
 	case IsBadInput(err):
 		return 2
 	}
 	return 1
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// base context of every context-aware CLI, so Ctrl-C stops scheduling new
+// simulations while in-flight ones finish and persist. Default signal
+// behaviour is restored as soon as the first signal lands (not only when
+// the CancelFunc runs), so a second Ctrl-C kills the process outright
+// instead of being swallowed while the graceful wind-down drains.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
 }
 
 // ValidateParallel rejects negative worker-pool bounds. Zero is valid

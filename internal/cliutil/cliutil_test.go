@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -119,5 +120,36 @@ func TestValidateMaxQueued(t *testing.T) {
 		if err := ValidateMaxQueued(n); err == nil {
 			t.Errorf("max-queued %d accepted", n)
 		}
+	}
+}
+
+func TestExitCodeTaxonomy(t *testing.T) {
+	wrapped := fmt.Errorf("client: sweep point 3 (swim under MB_distr): %w", context.Canceled)
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"system", errors.New("boom"), 1},
+		{"bad input", BadInput(errors.New("bad spec")), 2},
+		{"canceled", context.Canceled, ExitInterrupted},
+		{"wrapped canceled", wrapped, ExitInterrupted},
+		{"canceled beats bad-input marking", BadInput(wrapped), ExitInterrupted},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestSignalContextCancels(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh signal context already cancelled: %v", ctx.Err())
+	}
+	stop()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("stopped signal context err = %v", ctx.Err())
 	}
 }

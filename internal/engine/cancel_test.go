@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distiq/internal/core"
+)
+
+// cancelJobs builds n distinct, store-addressable jobs.
+func cancelJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Bench:  fmt.Sprintf("bench%03d", i),
+			Config: core.Baseline64(),
+			Opt:    Options{Warmup: 1, Instructions: 100},
+		}
+	}
+	return jobs
+}
+
+// slowStub returns a stub simulator that takes roughly d per job and
+// counts its invocations.
+func slowStub(d time.Duration, calls *atomic.Int64) func(Job) (Result, error) {
+	return func(j Job) (Result, error) {
+		calls.Add(1)
+		time.Sleep(d)
+		var r Result
+		r.Benchmark = j.Bench
+		r.Config = j.Config.Name
+		r.Insts = j.Opt.Instructions
+		r.Cycles = 42
+		return r, nil
+	}
+}
+
+// TestResultCtxCanceledBeforeStart: a request arriving with an already
+// cancelled context never simulates and returns the context error.
+func TestResultCtxCanceledBeforeStart(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Config{Workers: 1, Simulate: slowStub(0, &calls)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ResultCtx(ctx, cancelJobs(1)[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("simulator ran %d times for a pre-cancelled request", calls.Load())
+	}
+	st := e.Stats()
+	if st.Requested != 1 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v, want Requested=1 Canceled=1", st)
+	}
+}
+
+// TestCancelMidSweepConsistentStats is the regression test for stats
+// snapshots taken mid-cancel: a 100-point sweep is cancelled at a random
+// moment while another goroutine continuously snapshots Stats and checks
+// the documented identity. Run under -race in CI (the cancellation gate).
+func TestCancelMidSweepConsistentStats(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Config{Workers: 4, Simulate: slowStub(200*time.Microsecond, &calls)})
+	jobs := cancelJobs(100)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	var snapshots atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := e.Stats()
+			snapshots.Add(1)
+			resolved := st.Simulated + st.MemoryHits + st.DiskHits + st.Shared + st.Canceled
+			if resolved > st.Requested {
+				t.Errorf("inconsistent snapshot: resolved %d > requested %d (%+v)",
+					resolved, st.Requested, st)
+				return
+			}
+			for _, c := range []int64{st.Requested, st.Simulated, st.MemoryHits,
+				st.DiskHits, st.Shared, st.Canceled, st.DiskErrors} {
+				if c < 0 {
+					t.Errorf("negative counter in snapshot %+v", st)
+					return
+				}
+			}
+		}
+	}()
+
+	// Cancel at a random moment while the sweep is in flight.
+	go func() {
+		time.Sleep(time.Duration(rand.Intn(4000)) * time.Microsecond)
+		cancel()
+	}()
+
+	var emitted, canceled atomic.Int64
+	e.ResultStream(ctx, jobs, func(i int, r Result, err error, src Source) {
+		emitted.Add(1)
+		if src == SourceCanceled {
+			canceled.Add(1)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("job %d: canceled source with err = %v", i, err)
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+
+	if emitted.Load() != int64(len(jobs)) {
+		t.Fatalf("emitted %d of %d jobs", emitted.Load(), len(jobs))
+	}
+	st := e.Stats()
+	resolved := st.Simulated + st.MemoryHits + st.DiskHits + st.Shared + st.Canceled
+	if resolved != st.Requested || st.Requested != int64(len(jobs)) {
+		t.Fatalf("final stats inconsistent: %+v (resolved %d)", st, resolved)
+	}
+	if st.Simulated != calls.Load() {
+		t.Fatalf("Simulated = %d, stub ran %d times", st.Simulated, calls.Load())
+	}
+	if snapshots.Load() == 0 {
+		t.Fatal("watcher took no snapshots")
+	}
+	t.Logf("cancelled sweep: %d simulated, %d canceled, %d snapshots",
+		st.Simulated, st.Canceled, snapshots.Load())
+}
+
+// TestCancelKeepsStoreConsistentWarmRerunCompletesRemainder is the
+// acceptance scenario: cancelling a sweep mid-flight leaves the on-disk
+// store uncorrupted, and a warm rerun simulates only the points the
+// cancelled run never finished — zero re-simulations for completed ones.
+func TestCancelKeepsStoreConsistentWarmRerunCompletesRemainder(t *testing.T) {
+	dir := t.TempDir()
+	jobs := cancelJobs(60)
+
+	var firstCalls atomic.Int64
+	first := New(Config{Workers: 4, CacheDir: dir, Simulate: slowStub(300*time.Microsecond, &firstCalls)})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := first.ResultAllCtx(ctx, jobs, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancelled sweep took %v; cancellation must return promptly", waited)
+	}
+	st1 := first.Stats()
+	if st1.Canceled == 0 {
+		t.Skip("cancellation landed after the sweep finished; nothing to verify")
+	}
+	if st1.DiskErrors != 0 {
+		t.Fatalf("first run reported %d disk errors", st1.DiskErrors)
+	}
+
+	// Warm rerun through a fresh engine sharing only the on-disk store:
+	// every point the first run completed must be a disk hit.
+	var secondCalls atomic.Int64
+	second := New(Config{Workers: 4, CacheDir: dir, Simulate: slowStub(0, &secondCalls)})
+	results, err := second.ResultAll(jobs)
+	if err != nil {
+		t.Fatalf("warm rerun failed: %v", err)
+	}
+	for i, r := range results {
+		if r.Benchmark != jobs[i].Bench {
+			t.Fatalf("result %d is for %q, want %q", i, r.Benchmark, jobs[i].Bench)
+		}
+	}
+	st2 := second.Stats()
+	if got, want := st2.Simulated, int64(len(jobs))-st1.Simulated; got != want {
+		t.Fatalf("warm rerun simulated %d, want %d (first run completed %d of %d)",
+			got, want, st1.Simulated, len(jobs))
+	}
+	if st2.DiskHits != st1.Simulated {
+		t.Fatalf("warm rerun disk hits = %d, want %d", st2.DiskHits, st1.Simulated)
+	}
+}
+
+// TestWaiterSurvivesOwnersCancellation: when the owner of an in-flight
+// call is cancelled before computing, a waiter with a live context must
+// retry and obtain a real result — never inherit the owner's
+// context.Canceled (two sweeps sharing one engine must not poison each
+// other).
+func TestWaiterSurvivesOwnersCancellation(t *testing.T) {
+	gate := make(chan struct{})
+	blockerIn := make(chan struct{})
+	var calls atomic.Int64
+	e := New(Config{Workers: 1, Simulate: func(j Job) (Result, error) {
+		if j.Bench == "blocker" {
+			close(blockerIn)
+			<-gate
+		}
+		calls.Add(1)
+		var r Result
+		r.Benchmark = j.Bench
+		return r, nil
+	}})
+
+	// Occupy the only worker slot so the owner below queues on the
+	// semaphore, where cancellation abandons (not computes) its call.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, err := e.Result(Job{Bench: "blocker", Config: core.Baseline64(),
+			Opt: Options{Warmup: 1, Instructions: 1}}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+
+	<-blockerIn // the blocker holds the only slot from here on
+
+	job := cancelJobs(1)[0]
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := e.ResultCtx(ownerCtx, job)
+		ownerDone <- err
+	}()
+	// Let the owner register in-flight and block on the semaphore, then
+	// attach a waiter with a live context.
+	time.Sleep(5 * time.Millisecond)
+	waiterDone := make(chan error, 1)
+	var waiterRes Result
+	go func() {
+		r, err := e.Result(job)
+		waiterRes = r
+		waiterDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	cancelOwner()
+	if err := <-ownerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	close(gate) // free the worker slot for the waiter's retry
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("waiter inherited the owner's cancellation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed after the owner's cancellation")
+	}
+	if waiterRes.Benchmark != job.Bench {
+		t.Fatalf("waiter result = %+v, want a real result for %s", waiterRes, job.Bench)
+	}
+	<-blockerDone
+}
+
+// TestCancelWaiterAbandonsInflight: a requester waiting on another
+// requester's in-flight job honors its own context without disturbing the
+// computation it was waiting on.
+func TestCancelWaiterAbandonsInflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := New(Config{Workers: 2, Simulate: func(j Job) (Result, error) {
+		close(started)
+		<-release
+		return Result{}, nil
+	}})
+	job := cancelJobs(1)[0]
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := e.Result(job)
+		ownerDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := e.ResultCtx(ctx, job)
+		waiterDone <- err
+	}()
+	// Give the waiter a moment to join the in-flight call, then cancel it.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner err = %v", err)
+	}
+	st := e.Stats()
+	if st.Simulated != 1 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v, want Simulated=1 Canceled=1", st)
+	}
+}

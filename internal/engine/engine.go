@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,7 +25,15 @@ type Config struct {
 	Progress func(Progress)
 }
 
-// Stats counts how the engine resolved the jobs requested so far.
+// Stats counts how the engine resolved the jobs requested so far. A
+// snapshot returned by Engine.Stats is internally consistent: every
+// resolved request is counted under exactly one of Simulated, MemoryHits,
+// DiskHits, Shared or Canceled, so once the engine is idle
+//
+//	Requested == Simulated + MemoryHits + DiskHits + Shared + Canceled
+//
+// holds (minus any requests that failed in the simulator itself, which
+// count only under Requested).
 type Stats struct {
 	// Requested is the number of Result calls (batch entries included).
 	Requested int64
@@ -37,6 +46,10 @@ type Stats struct {
 	// Shared requests waited on an identical in-flight job instead of
 	// re-simulating (single-flight deduplication).
 	Shared int64
+	// Canceled requests were abandoned by context cancellation before a
+	// result was available (the job itself may still finish if another
+	// requester owns it).
+	Canceled int64
 	// DiskErrors counts failed best-effort store writes.
 	DiskErrors int64
 }
@@ -46,11 +59,21 @@ type call struct {
 	done chan struct{}
 	res  Result
 	err  error
+	// abandoned marks a call whose owner was cancelled before computing:
+	// its context error belongs to the owner, so surviving waiters retry
+	// resolution instead of inheriting it.
+	abandoned bool
 }
 
 // Engine runs experiment jobs across a bounded worker pool with
 // single-flight deduplication, an in-memory result cache and an optional
 // persistent store. All methods are safe for concurrent use.
+//
+// Every job-resolving method takes a context: cancellation stops
+// scheduling (jobs that have not claimed a worker slot resolve promptly
+// to the context's error) while jobs already simulating run to completion
+// and persist to the store, so a cancelled sweep leaves the on-disk state
+// consistent and a warm rerun completes only the remainder.
 type Engine struct {
 	sim      func(Job) (Result, error)
 	progress func(Progress)
@@ -61,10 +84,14 @@ type Engine struct {
 	memory   map[string]Result
 	inflight map[string]*call
 
-	progMu          sync.Mutex
-	total, resolved atomic.Int64
+	progMu   sync.Mutex
+	resolved atomic.Int64
+	total    atomic.Int64
 
-	requested, simulated, memHits, diskHits, shared, diskErrors atomic.Int64
+	// statsMu guards stats so Stats() snapshots are consistent even while
+	// a cancellation is racing resolution (no half-counted request).
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // New returns an Engine. The persistent store directory is created lazily
@@ -95,16 +122,20 @@ func New(cfg Config) *Engine {
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return cap(e.sem) }
 
-// Stats returns a snapshot of the engine's resolution counters.
+// Stats returns a consistent snapshot of the engine's resolution
+// counters: all fields are read under one lock, so the identity
+// documented on Stats holds at any moment, including mid-cancellation.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Requested:  e.requested.Load(),
-		Simulated:  e.simulated.Load(),
-		MemoryHits: e.memHits.Load(),
-		DiskHits:   e.diskHits.Load(),
-		Shared:     e.shared.Load(),
-		DiskErrors: e.diskErrors.Load(),
-	}
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// bump applies one counter mutation under the stats lock.
+func (e *Engine) bump(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
 }
 
 // Result resolves one job, blocking until it is available: from the
@@ -113,28 +144,57 @@ func (e *Engine) Stats() Stats {
 // with concurrent requesters of the same job but never cached, so a later
 // request retries.
 func (e *Engine) Result(job Job) (Result, error) {
-	r, err, _ := e.resolve(job)
+	return e.ResultCtx(context.Background(), job)
+}
+
+// ResultCtx is Result honoring ctx: a request cancelled before its job
+// claims a worker slot (or while waiting on another requester's in-flight
+// computation) returns ctx.Err() promptly; a job already simulating runs
+// to completion and its result is cached and persisted as usual.
+func (e *Engine) ResultCtx(ctx context.Context, job Job) (Result, error) {
+	r, err, _ := e.resolve(ctx, job)
 	return r, err
 }
 
-// resolve is Result plus the resolution source, so batch callers can
+// cancel accounts one request abandoned by context cancellation.
+func (e *Engine) cancel(job Job, err error) (Result, error, Source) {
+	e.bump(func(s *Stats) { s.Canceled++ })
+	e.finish(job, SourceCanceled)
+	return Result{}, err, SourceCanceled
+}
+
+// resolve is ResultCtx plus the resolution source, so batch callers can
 // account per-batch how each of their jobs was satisfied.
-func (e *Engine) resolve(job Job) (Result, error, Source) {
-	e.requested.Add(1)
+func (e *Engine) resolve(ctx context.Context, job Job) (Result, error, Source) {
+	e.bump(func(s *Stats) { s.Requested++ })
 	e.total.Add(1)
 	key := job.Key()
 
+retry:
+	if err := ctx.Err(); err != nil {
+		return e.cancel(job, err)
+	}
 	e.mu.Lock()
 	if r, ok := e.memory[key]; ok {
 		e.mu.Unlock()
-		e.memHits.Add(1)
+		e.bump(func(s *Stats) { s.MemoryHits++ })
 		e.finish(job, SourceMemory)
 		return r, nil, SourceMemory
 	}
 	if c, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
-		<-c.done
-		e.shared.Add(1)
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return e.cancel(job, ctx.Err())
+		}
+		if c.abandoned {
+			// The owner was cancelled before computing; its context
+			// error is not this requester's. Retry resolution (errors
+			// are never cached, so the job is simply unowned again).
+			goto retry
+		}
+		e.bump(func(s *Stats) { s.Shared++ })
 		e.finish(job, SourceShared)
 		return c.res, c.err, SourceShared
 	}
@@ -142,7 +202,21 @@ func (e *Engine) resolve(job Job) (Result, error, Source) {
 	e.inflight[key] = c
 	e.mu.Unlock()
 
-	e.sem <- struct{}{}
+	// Claim a worker slot, abandoning the job if ctx is cancelled first
+	// (cancellation stops scheduling; the slot is never taken). A job
+	// whose slot is already claimed runs to completion below, so the
+	// persistent store stays consistent under cancellation.
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return e.abandon(job, key, c, ctx.Err())
+	}
+	if ctx.Err() != nil {
+		// The slot and the cancellation raced; prefer the cancellation
+		// so a cancelled sweep never starts new simulations.
+		<-e.sem
+		return e.abandon(job, key, c, ctx.Err())
+	}
 	res, err, src := e.compute(job)
 	<-e.sem
 
@@ -161,6 +235,20 @@ func (e *Engine) resolve(job Job) (Result, error, Source) {
 	return res, err, src
 }
 
+// abandon unwinds an owned in-flight registration whose owner was
+// cancelled before computing. The call is marked abandoned, so waiters
+// sharing it retry resolution under their own contexts instead of
+// inheriting the owner's cancellation.
+func (e *Engine) abandon(job Job, key string, c *call, err error) (Result, error, Source) {
+	c.err = err
+	c.abandoned = true
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	return e.cancel(job, err)
+}
+
 // compute resolves a job the expensive way: persistent store, then the
 // simulator (persisting the fresh result best-effort).
 func (e *Engine) compute(job Job) (Result, error, Source) {
@@ -170,7 +258,7 @@ func (e *Engine) compute(job Job) (Result, error, Source) {
 	}
 	if addressable {
 		if r, ok := e.store.Get(fp, job); ok {
-			e.diskHits.Add(1)
+			e.bump(func(s *Stats) { s.DiskHits++ })
 			return r, nil, SourceDisk
 		}
 	}
@@ -178,10 +266,10 @@ func (e *Engine) compute(job Job) (Result, error, Source) {
 	if err != nil {
 		return Result{}, err, SourceSimulated
 	}
-	e.simulated.Add(1)
+	e.bump(func(s *Stats) { s.Simulated++ })
 	if addressable {
 		if perr := e.store.Put(fp, job, r); perr != nil {
-			e.diskErrors.Add(1)
+			e.bump(func(s *Stats) { s.DiskErrors++ })
 		}
 	}
 	return r, nil, SourceSimulated
@@ -209,7 +297,7 @@ func (e *Engine) finish(job Job, src Source) {
 // batch are simulated once. On failure the first error in input order is
 // returned alongside the partial results.
 func (e *Engine) ResultAll(jobs []Job) ([]Result, error) {
-	return e.ResultAllProgress(jobs, nil)
+	return e.ResultAllCtx(context.Background(), jobs, nil)
 }
 
 // ResultAllProgress resolves a batch like ResultAll while additionally
@@ -220,30 +308,57 @@ func (e *Engine) ResultAll(jobs []Job) ([]Result, error) {
 // shared engine can track its own batch. Invocations are serialized per
 // batch.
 func (e *Engine) ResultAllProgress(jobs []Job, progress func(Progress)) ([]Result, error) {
+	return e.ResultAllCtx(context.Background(), jobs, progress)
+}
+
+// ResultAllCtx is ResultAllProgress honoring ctx: once ctx is cancelled,
+// jobs that have not claimed a worker slot resolve promptly to ctx.Err()
+// while in-flight jobs finish (and persist), and the first error in input
+// order — a context error, under cancellation — is returned alongside
+// the partial results.
+func (e *Engine) ResultAllCtx(ctx context.Context, jobs []Job, progress func(Progress)) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	var batchMu sync.Mutex
 	done := 0
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j Job) {
-			defer wg.Done()
-			var src Source
-			results[i], errs[i], src = e.resolve(j)
-			if progress != nil {
-				batchMu.Lock()
-				done++
-				progress(Progress{Done: done, Total: len(jobs), Job: j, Source: src})
-				batchMu.Unlock()
-			}
-		}(i, j)
-	}
-	wg.Wait()
+	e.ResultStream(ctx, jobs, func(i int, r Result, err error, src Source) {
+		results[i], errs[i] = r, err
+		if progress != nil {
+			done++
+			progress(Progress{Done: done, Total: len(jobs), Job: jobs[i], Source: src})
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return results, err
 		}
 	}
 	return results, nil
+}
+
+// ResultStream resolves a batch of jobs concurrently (bounded by the
+// worker pool), delivering each result through emit as it resolves — in
+// completion order, not input order; i is the job's input index. Emit
+// invocations are serialized, so callers may update shared state without
+// locking. ResultStream returns once every job has been emitted.
+//
+// Cancellation semantics match ResultAllCtx: after ctx is cancelled,
+// unscheduled jobs emit promptly with ctx.Err() and SourceCanceled while
+// in-flight jobs finish and persist, so the store stays consistent and a
+// warm rerun completes only the remainder.
+func (e *Engine) ResultStream(ctx context.Context, jobs []Job, emit func(i int, r Result, err error, src Source)) {
+	var wg sync.WaitGroup
+	var emitMu sync.Mutex
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			r, err, src := e.resolve(ctx, j)
+			if emit != nil {
+				emitMu.Lock()
+				emit(i, r, err, src)
+				emitMu.Unlock()
+			}
+		}(i, j)
+	}
+	wg.Wait()
 }

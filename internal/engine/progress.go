@@ -18,6 +18,9 @@ const (
 	SourceDisk Source = "disk"
 	// SourceShared jobs waited on an identical in-flight job.
 	SourceShared Source = "shared"
+	// SourceCanceled requests were abandoned by context cancellation
+	// before a result was available.
+	SourceCanceled Source = "canceled"
 )
 
 // Progress describes one resolved job. Done counts jobs resolved so far

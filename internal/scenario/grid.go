@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -251,6 +252,11 @@ func (g *Grid) Size() int { return len(g.Points) }
 
 // RunConfig configures grid execution; the zero value runs with a
 // GOMAXPROCS-wide worker pool, no persistent store and no progress.
+//
+// Deprecated: new code should run grids through the context-aware Client
+// layer (distiq.NewLocalClient / distiq.NewRemoteClient with functional
+// options), which adds cancellation and per-point streaming. RunConfig
+// remains as a thin shim over the same engine.
 type RunConfig struct {
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 = serial).
 	Parallel int
@@ -263,6 +269,10 @@ type RunConfig struct {
 // Run shards the grid across a fresh engine's worker pool and collects
 // the results. Identical points (and warm on-disk entries) simulate zero
 // times; rows come back in grid order regardless of parallelism.
+//
+// Deprecated: use the Client layer — distiq.NewLocalClient(...).Sweep —
+// which streams per-point results and honors context cancellation. Run
+// remains as a thin shim and behaves identically.
 func (g *Grid) Run(rc RunConfig) (*ResultSet, error) {
 	e := engine.New(engine.Config{
 		Workers:  rc.Parallel,
@@ -270,6 +280,17 @@ func (g *Grid) Run(rc RunConfig) (*ResultSet, error) {
 		Progress: rc.Progress,
 	})
 	return g.RunOn(e)
+}
+
+// RunStream runs the grid's jobs on an existing engine, delivering each
+// point's result through emit as it resolves — in completion order, not
+// grid order; i is the point's index in g.Points. Emit invocations are
+// serialized. Cancellation follows the engine's contract: once ctx is
+// cancelled, unscheduled points emit promptly with ctx.Err() and
+// engine.SourceCanceled while in-flight points finish and persist. The
+// Client layer and the distiqd streaming endpoint are built on this.
+func (g *Grid) RunStream(ctx context.Context, e *engine.Engine, emit func(i int, r engine.Result, err error, src engine.Source)) {
+	e.ResultStream(ctx, g.Jobs(), emit)
 }
 
 // RunOn runs the grid on an existing engine, sharing its caches.

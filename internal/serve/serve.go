@@ -13,6 +13,9 @@
 //	GET  /v1/sweeps               status of every known sweep
 //	GET  /v1/sweeps/{id}          results (?format=csv|json|md; 202 while
 //	                              the sweep is still running)
+//	GET  /v1/sweeps/{id}/stream   per-point results as NDJSON, streamed in
+//	                              grid order as they resolve (the Client
+//	                              layer's RemoteClient consumes this)
 //	GET  /v1/sweeps/{id}/status   per-sweep progress and resolution counts
 //	GET  /v1/machine              the paper's Table 1 machine
 //	GET  /v1/benchmarks           workload names per suite
@@ -36,6 +39,7 @@ import (
 	"net/http"
 	"sync"
 
+	"distiq/internal/client"
 	"distiq/internal/core"
 	"distiq/internal/engine"
 	"distiq/internal/isa"
@@ -89,20 +93,31 @@ const (
 )
 
 // sweep is one admitted grid and its progress. The progress counters are
-// per-sweep (fed by the engine's batch-scoped progress hook), so a warm
+// per-sweep (fed by the engine's per-point streaming hook), so a warm
 // resubmission reports 0 simulated even while other sweeps simulate.
+// Per-point results are retained in grid order as they resolve, so the
+// NDJSON streaming endpoint can deliver each point the moment the
+// in-order prefix reaches it; cond (on mu) is broadcast at every point
+// completion and state change.
 type sweep struct {
 	id   string
 	name string
+	grid *scenario.Grid
 
 	mu    sync.Mutex
+	cond  *sync.Cond
 	state sweepState
 	total int
 	done  int
 	// Per-sweep resolution counts by source.
-	simulated, memoryHits, diskHits, shared int64
-	res                                     *scenario.ResultSet
-	err                                     error
+	counts client.Counts
+	// Per-point outcomes, indexed by grid position; ready[i] flips once
+	// results[i]/sources[i] are valid.
+	results []engine.Result
+	sources []engine.Source
+	ready   []bool
+	res     *scenario.ResultSet
+	err     error
 }
 
 // Status is the JSON progress document of one sweep.
@@ -135,8 +150,8 @@ func (sw *sweep) statusLocked() Status {
 	st := Status{
 		ID: sw.id, Name: sw.name, State: string(sw.state),
 		Points: sw.total, Done: sw.done,
-		Simulated: sw.simulated, MemoryHits: sw.memoryHits,
-		DiskHits: sw.diskHits, Shared: sw.shared,
+		Simulated: sw.counts.Simulated, MemoryHits: sw.counts.MemoryHits,
+		DiskHits: sw.counts.DiskHits, Shared: sw.counts.Shared,
 	}
 	if sw.err != nil {
 		st.Error = sw.err.Error()
@@ -189,6 +204,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/sweeps/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/machine", s.handleMachine)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -281,11 +297,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	sw := &sweep{
-		id:    fmt.Sprintf("sw-%06d", s.nextID),
-		name:  spec.Name,
-		state: stateQueued,
-		total: grid.Size(),
+		id:      fmt.Sprintf("sw-%06d", s.nextID),
+		name:    spec.Name,
+		grid:    grid,
+		state:   stateQueued,
+		total:   grid.Size(),
+		results: make([]engine.Result, grid.Size()),
+		sources: make([]engine.Source, grid.Size()),
+		ready:   make([]bool, grid.Size()),
 	}
+	sw.cond = sync.NewCond(&sw.mu)
 	s.sweeps[sw.id] = sw
 	s.order = append(s.order, sw.id)
 	s.active++
@@ -303,36 +324,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-// runSweep executes one admitted grid on the shared engine, tracking
-// per-sweep progress through the engine's batch-scoped progress hook.
+// runSweep executes one admitted grid on the shared engine through the
+// per-point streaming primitive: every resolved point lands in the
+// sweep's in-order result slots (waking any NDJSON streamers) and feeds
+// the per-sweep resolution counters.
 func (s *Server) runSweep(sw *sweep, grid *scenario.Grid) {
 	defer s.wg.Done()
 	sw.mu.Lock()
 	sw.state = stateRunning
+	sw.cond.Broadcast()
 	sw.mu.Unlock()
 
-	res, err := grid.RunOnProgress(s.eng, func(p engine.Progress) {
+	errs := make([]error, grid.Size())
+	grid.RunStream(context.Background(), s.eng, func(i int, r engine.Result, err error, src engine.Source) {
 		sw.mu.Lock()
-		sw.done = p.Done
-		switch p.Source {
-		case engine.SourceSimulated:
-			sw.simulated++
-		case engine.SourceMemory:
-			sw.memoryHits++
-		case engine.SourceDisk:
-			sw.diskHits++
-		case engine.SourceShared:
-			sw.shared++
+		sw.done++
+		sw.counts.Add(src)
+		if err != nil {
+			errs[i] = err
+		} else {
+			sw.results[i], sw.sources[i], sw.ready[i] = r, src, true
 		}
+		sw.cond.Broadcast()
 		sw.mu.Unlock()
 	})
+	var err error
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
 
 	sw.mu.Lock()
 	if err != nil {
 		sw.state, sw.err = stateFailed, err
 	} else {
-		sw.state, sw.res = stateDone, res
+		sw.state = stateDone
+		sw.res = &scenario.ResultSet{Grid: grid, Results: sw.results, Stats: s.eng.Stats()}
 	}
+	sw.cond.Broadcast()
 	sw.mu.Unlock()
 
 	s.mu.Lock()
@@ -463,6 +494,79 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStream serves a sweep's per-point results as NDJSON
+// (client.StreamEvent per line) in grid order, each point flushed the
+// moment the in-order prefix reaches it — so a consumer renders progress
+// live while the sweep runs, and a finished sweep replays instantly. The
+// stream terminates with {"done":true} on success or an {"error":...}
+// event at the first failed point; a cancelled request unblocks promptly.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	ctx := r.Context()
+	// Wake the cond waiters below when the client goes away, so an
+	// abandoned stream never outlives its request.
+	stop := context.AfterFunc(ctx, func() {
+		sw.mu.Lock()
+		sw.cond.Broadcast()
+		sw.mu.Unlock()
+	})
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the response header out before blocking on the first
+		// point, so clients see the stream open immediately.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	for i := 0; i < sw.total; i++ {
+		sw.mu.Lock()
+		for !sw.ready[i] && sw.state != stateFailed && ctx.Err() == nil {
+			sw.cond.Wait()
+		}
+		ok := sw.ready[i]
+		res := sw.results[i]
+		src := sw.sources[i]
+		err := sw.err
+		sw.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		if !ok {
+			// The sweep failed and this is the first unresolved point in
+			// grid order; terminate the stream with the sweep's error.
+			msg := "sweep failed"
+			if err != nil {
+				msg = err.Error()
+			}
+			enc.Encode(client.StreamEvent{Index: i, Error: msg}) //nolint:errcheck // stream already committed
+			return
+		}
+		if err := enc.Encode(client.StreamEvent{
+			Index:     i,
+			Benchmark: sw.grid.Points[i].Bench,
+			Source:    src,
+			Result:    &res,
+		}); err != nil {
+			return // client went away mid-write
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(client.StreamEvent{Done: true, Points: sw.total}) //nolint:errcheck // stream already committed
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 // machineDoc is the stable JSON rendering of the Table 1 machine. It is
 // assembled field-by-field (pipeline.Config embeds scheme constructors
 // that do not marshal) and mirrors the names scenario axes use.
@@ -528,6 +632,7 @@ type statsDoc struct {
 	MemoryHits int64 `json:"memory_hits"`
 	DiskHits   int64 `json:"disk_hits"`
 	Shared     int64 `json:"shared"`
+	Canceled   int64 `json:"canceled"`
 	DiskErrors int64 `json:"disk_errors"`
 }
 
@@ -540,6 +645,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MemoryHits: st.MemoryHits,
 		DiskHits:   st.DiskHits,
 		Shared:     st.Shared,
+		Canceled:   st.Canceled,
 		DiskErrors: st.DiskErrors,
 	})
 }

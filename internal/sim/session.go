@@ -3,15 +3,20 @@
 // assembles performance and energy results, and regenerates every table
 // and figure of the evaluation section.
 //
-// Execution is delegated to the concurrent experiment engine
-// (distiq/internal/engine): a Session shards independent benchmark ×
-// configuration jobs across a bounded worker pool, deduplicates identical
-// in-flight jobs, and can persist results to an on-disk store shared
-// across processes. Simulations are deterministic per job, so tables are
-// byte-identical whatever the parallelism.
+// Execution is delegated to the Client layer (distiq/internal/client)
+// over the concurrent experiment engine: a Session shards independent
+// benchmark × configuration jobs across a bounded worker pool,
+// deduplicates identical in-flight jobs, and can persist results to an
+// on-disk store shared across processes. Simulations are deterministic
+// per job, so tables are byte-identical whatever the parallelism. Bind a
+// context with Session.WithContext to make a whole figure run
+// cancellable (iqfig wires Ctrl-C through this).
 package sim
 
 import (
+	"context"
+
+	"distiq/internal/client"
 	"distiq/internal/core"
 	"distiq/internal/engine"
 	"distiq/internal/metrics"
@@ -43,6 +48,10 @@ func Run(bench string, cfg core.Config, opt Options) (Result, error) {
 }
 
 // SessionConfig configures a Session beyond its defaults.
+//
+// Deprecated: new code should construct a Client directly
+// (distiq.NewLocalClient with WithParallel/WithCacheDir/WithProgress);
+// SessionConfig remains as a thin shim over the same options.
 type SessionConfig struct {
 	// Opt sizes every simulation of the session.
 	Opt Options
@@ -57,12 +66,14 @@ type SessionConfig struct {
 }
 
 // Session memoizes runs so figures sharing configurations (every figure
-// reuses the baselines) do not repeat work. All methods are safe for
-// concurrent use; batches submitted through figure generation fan out
-// across the engine's worker pool.
+// reuses the baselines) do not repeat work. It is a thin harness over
+// the Client layer: every job flows through an in-process client, whose
+// engine fans batches across the worker pool. All methods are safe for
+// concurrent use.
 type Session struct {
 	Opt Options
-	eng *engine.Engine
+	cl  *client.Local
+	ctx context.Context // base context of every engine call; nil = Background
 }
 
 // NewSession returns a Session with the given options, a GOMAXPROCS-wide
@@ -72,20 +83,45 @@ func NewSession(opt Options) *Session {
 }
 
 // NewSessionWith returns a Session with explicit engine configuration.
+//
+// Deprecated: construct a Client (distiq.NewLocalClient) for new code;
+// this shim builds exactly that client under the hood.
 func NewSessionWith(cfg SessionConfig) *Session {
-	return &Session{
-		Opt: cfg.Opt,
-		eng: engine.New(engine.Config{
-			Workers:  cfg.Parallel,
-			CacheDir: cfg.CacheDir,
-			Progress: cfg.Progress,
-		}),
-	}
+	return NewSessionClient(cfg.Opt, client.NewLocal(
+		client.WithParallel(cfg.Parallel),
+		client.WithCacheDir(cfg.CacheDir),
+		client.WithProgress(cfg.Progress),
+	))
 }
 
+// NewSessionClient returns a Session running every job through an
+// existing Local client (sharing its caches and worker pool).
+func NewSessionClient(opt Options, cl *client.Local) *Session {
+	return &Session{Opt: opt, cl: cl}
+}
+
+// WithContext returns a Session view whose engine calls are bound to ctx
+// (sharing the receiver's client and caches): cancelling ctx stops
+// scheduling new simulations mid-figure while in-flight jobs finish and
+// persist. The receiver is unchanged.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	return &Session{Opt: s.Opt, cl: s.cl, ctx: ctx}
+}
+
+// context returns the session's base context.
+func (s *Session) context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// Client returns the Local client the session runs on.
+func (s *Session) Client() *client.Local { return s.cl }
+
 // EngineStats reports how the session resolved its jobs so far
-// (simulated, memory hits, disk hits, deduplicated).
-func (s *Session) EngineStats() engine.Stats { return s.eng.Stats() }
+// (simulated, memory hits, disk hits, deduplicated, cancelled).
+func (s *Session) EngineStats() engine.Stats { return s.cl.Stats() }
 
 func (s *Session) job(bench string, cfg core.Config) engine.Job {
 	return engine.Job{Bench: bench, Config: cfg, Opt: s.Opt}
@@ -93,7 +129,7 @@ func (s *Session) job(bench string, cfg core.Config) engine.Job {
 
 // Result returns the memoized run for bench × cfg, simulating on first use.
 func (s *Session) Result(bench string, cfg core.Config) (Result, error) {
-	return s.eng.Result(s.job(bench, cfg))
+	return s.cl.Run(s.context(), s.job(bench, cfg))
 }
 
 // Prefetch resolves every bench × cfg combination through the engine's
@@ -107,7 +143,7 @@ func (s *Session) Prefetch(benches []string, cfgs ...core.Config) error {
 			jobs = append(jobs, s.job(b, cfg))
 		}
 	}
-	_, err := s.eng.ResultAll(jobs)
+	_, err := s.cl.RunAll(s.context(), jobs)
 	return err
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"distiq/internal/client"
 	"distiq/internal/engine"
 )
 
@@ -18,9 +19,9 @@ func TestFigureBytesIdenticalWithTraceCacheOff(t *testing.T) {
 	}
 	opt := QuickOptions()
 	cached := NewSession(opt)
-	uncached := &Session{Opt: opt, eng: engine.New(engine.Config{
+	uncached := NewSessionClient(opt, client.NewLocalOn(engine.New(engine.Config{
 		Simulate: engine.SimulateUncached,
-	})}
+	})))
 	for _, fig := range []int{2, 8, 9} {
 		a, err := Figure(fig, cached)
 		if err != nil {
