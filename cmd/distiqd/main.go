@@ -30,6 +30,13 @@
 // submissions while -max-queued sweeps are already unfinished answer
 // 429. On SIGINT/SIGTERM the listener closes and every in-flight sweep
 // drains before exit.
+//
+// Observability: GET /metrics serves the Prometheus exposition,
+// /healthz is the readiness probe (503 once draining), /livez the
+// liveness probe, and /v1/version the build identity. Every request is
+// logged structurally (-log-format text|json, -log-level
+// debug|info|warn|error) with an X-Request-Id that is honored from the
+// caller or generated and echoed back.
 package main
 
 import (
@@ -38,7 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -48,7 +55,7 @@ import (
 )
 
 func main() {
-	srv, addr, err := setup(os.Args[1:], os.Stderr)
+	srv, logger, addr, err := setup(os.Args[1:], os.Stderr)
 	switch {
 	case errors.Is(err, flag.ErrHelp):
 		os.Exit(0)
@@ -65,13 +72,20 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("distiqd: shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(sctx) //nolint:errcheck // drain below bounds the wait
 	}()
 
-	log.Printf("distiqd: listening on %s", addr)
+	// The one startup line mirrors GET /v1/version, so logs and the API
+	// agree on which build answered.
+	version, goVersion := serve.VersionInfo()
+	logger.Info("listening",
+		"addr", addr,
+		"version", version,
+		"go_version", goVersion,
+		"start_time", time.Now().UTC().Format(time.RFC3339))
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
 		os.Exit(1)
@@ -86,11 +100,38 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger from the -log-format and
+// -log-level flags. Invalid values are bad input (exit 2), matching the
+// rest of the flag taxonomy.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, cliutil.BadInput(fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level))
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, cliutil.BadInput(fmt.Errorf("invalid -log-format %q (want text or json)", format))
+}
+
 // setup parses argv, validates the engine knobs through the shared
-// cliutil checks and assembles the service. It is main minus the
-// listener, so tests can exercise flag handling and drive the returned
-// handler directly.
-func setup(argv []string, stderr io.Writer) (*serve.Server, string, error) {
+// cliutil checks and assembles the service plus its logger. It is main
+// minus the listener, so tests can exercise flag handling and drive the
+// returned handler directly.
+func setup(argv []string, stderr io.Writer) (*serve.Server, *slog.Logger, string, error) {
 	fs := flag.NewFlagSet("distiqd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -98,20 +139,26 @@ func setup(argv []string, stderr io.Writer) (*serve.Server, string, error) {
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		cacheDir  = fs.String("cache-dir", "", "persistent result store directory, shared with the iq* CLIs")
 		maxQueued = fs.Int("max-queued", serve.DefaultMaxQueued, "maximum admitted-but-unfinished sweeps before 429")
-		quiet     = fs.Bool("quiet", false, "suppress the sweep lifecycle log on stderr")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		quiet     = fs.Bool("quiet", false, "suppress all logging on stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		// The FlagSet has already written the message and usage.
-		return nil, "", cliutil.BadInput(err)
+		return nil, nil, "", cliutil.BadInput(err)
 	}
 	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	if err := cliutil.ValidateMaxQueued(*maxQueued); err != nil {
-		return nil, "", err
+		return nil, nil, "", err
+	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		return nil, nil, "", err
 	}
 	cfg := serve.Config{
 		Parallel:  *parallel,
@@ -119,7 +166,9 @@ func setup(argv []string, stderr io.Writer) (*serve.Server, string, error) {
 		MaxQueued: *maxQueued,
 	}
 	if !*quiet {
-		cfg.Log = log.New(stderr, "distiqd: ", log.LstdFlags)
+		cfg.Logger = logger
+	} else {
+		logger = slog.New(serve.DiscardHandler())
 	}
-	return serve.New(cfg), *addr, nil
+	return serve.New(cfg), logger, *addr, nil
 }

@@ -43,14 +43,14 @@ func TestSetupRejectsBadFlags(t *testing.T) {
 	}
 	for _, argv := range cases {
 		var errw bytes.Buffer
-		if _, _, err := setup(argv, &errw); err == nil {
+		if _, _, _, err := setup(argv, &errw); err == nil {
 			t.Errorf("%v accepted", argv)
 		} else if cliutil.ExitCode(err) != 2 {
 			t.Errorf("%v: exit code %d, want 2 (%v)", argv, cliutil.ExitCode(err), err)
 		}
 	}
 	var errw bytes.Buffer
-	if _, _, err := setup([]string{"-h"}, &errw); !errors.Is(err, flag.ErrHelp) {
+	if _, _, _, err := setup([]string{"-h"}, &errw); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h: %v", err)
 	}
 }
@@ -60,7 +60,7 @@ func TestSetupRejectsBadFlags(t *testing.T) {
 // is covered, not just the serve package.
 func TestSetupServesSweeps(t *testing.T) {
 	var errw bytes.Buffer
-	srv, addr, err := setup([]string{"-addr", ":0", "-parallel", "2", "-quiet"}, &errw)
+	srv, _, addr, err := setup([]string{"-addr", ":0", "-parallel", "2", "-quiet"}, &errw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestSetupServesSweeps(t *testing.T) {
 	// Without -quiet the lifecycle log lands on stderr. The buffer needs
 	// a lock: sweep goroutines log concurrently with the test's polling.
 	loud := &syncBuffer{}
-	srv2, _, err := setup(nil, loud)
+	srv2, _, _, err := setup(nil, loud)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,15 @@
 //	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
 //	iqsweep -scheme MixBUFF -queues 8 -dump-spec   # flags -> spec JSON
 //
+// Integrity: -manifest writes the sweep's tamper-evident Merkle
+// manifest (leaves are the content-addressed hashes of the stored
+// result entries, in grid order), and -verify-manifest re-hashes a
+// -cache-dir store offline against such a manifest, exiting non-zero if
+// any byte of any covered entry changed:
+//
+//	iqsweep -spec grid.json -cache-dir /tmp/c -manifest sweep.json
+//	iqsweep -verify-manifest sweep.json -cache-dir /tmp/c
+//
 // A spec sweeping scheme × ROB × perfect disambiguation:
 //
 //	{
@@ -37,6 +46,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -101,6 +111,9 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		cacheDir = fs.String("cache-dir", "", "persistent result store directory, reused across runs (local runs)")
 		server   = fs.String("server", "", "run the sweep on a distiqd at this base URL instead of in-process")
 		quiet    = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
+
+		manifestOut = fs.String("manifest", "", "write the sweep's tamper-evident Merkle manifest to this JSON file")
+		verifyPath  = fs.String("verify-manifest", "", "verify a manifest file against the -cache-dir store and exit (no sweep runs)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +124,10 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	}
 	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
 		return distiq.EngineStats{}, err
+	}
+
+	if *verifyPath != "" {
+		return distiq.EngineStats{}, verifyManifest(*verifyPath, *cacheDir, stderr)
 	}
 
 	spec, err := assembleSpec(*specPath, legacyFlags{
@@ -170,6 +187,12 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		return stats, err
 	}
 
+	if *manifestOut != "" {
+		if err := writeManifest(*manifestOut, stream); err != nil {
+			return stats, err
+		}
+	}
+
 	// Emit through the shared scenario emitter — the same code path the
 	// distiqd HTTP service uses, so -spec output, -server output and
 	// service bodies are byte-identical by construction.
@@ -185,6 +208,41 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	}
 	_, err = stdout.Write(buf.Bytes())
 	return stats, err
+}
+
+// writeManifest stores a completed sweep's Merkle manifest as JSON. The
+// stream must have been fully consumed; a sweep over a grid that is not
+// content-addressable (never the case for spec-expanded grids) has no
+// manifest to write.
+func writeManifest(path string, stream *distiq.SweepStream) error {
+	m := stream.Manifest()
+	if m == nil {
+		return fmt.Errorf("sweep produced no manifest")
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// verifyManifest re-derives a manifest's Merkle root from the bytes a
+// -cache-dir store holds right now: every leaf's entry file is
+// re-hashed, so any post-sweep tampering — or a truncated or edited
+// manifest — fails loudly (exit 1).
+func verifyManifest(path, cacheDir string, stderr io.Writer) error {
+	if cacheDir == "" {
+		return cliutil.BadInput(fmt.Errorf("-verify-manifest requires -cache-dir (the store to verify against)"))
+	}
+	m, err := distiq.LoadManifest(path)
+	if err != nil {
+		return err
+	}
+	if err := m.VerifyStore(cacheDir); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "iqsweep: manifest %s verified: %d points, root %s\n", path, m.Points, m.Root)
+	return nil
 }
 
 // runStats reports how the sweep's jobs were resolved: the engine's own

@@ -130,6 +130,69 @@ func TestRunSpecEndToEndWarmCache(t *testing.T) {
 	}
 }
 
+// TestManifestRoundTrip is the manifest integrity gate: a cold sweep
+// writes a manifest, offline verification passes against the untouched
+// store, and flipping one byte of one covered entry makes it fail.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	manifestPath := filepath.Join(dir, "sweep-manifest.json")
+
+	var out, errw bytes.Buffer
+	if _, err := run([]string{"-spec", specPath, "-cache-dir", cacheDir, "-quiet",
+		"-parallel", "2", "-manifest", manifestPath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	m, err := distiq.LoadManifest(manifestPath)
+	if err != nil {
+		t.Fatalf("written manifest does not load: %v", err)
+	}
+	if m.Points != 4 || m.Name != "e2e" {
+		t.Fatalf("manifest = %d points, name %q", m.Points, m.Name)
+	}
+
+	verify := []string{"-verify-manifest", manifestPath, "-cache-dir", cacheDir}
+	if _, err := run(verify, &out, &errw); err != nil {
+		t.Fatalf("verify on a pristine store: %v", err)
+	}
+	if !strings.Contains(errw.String(), "verified") {
+		t.Fatalf("no verification report: %q", errw.String())
+	}
+
+	// Without a store there is nothing to verify against: bad input.
+	if _, err := run([]string{"-verify-manifest", manifestPath}, &out, &errw); err == nil {
+		t.Fatal("-verify-manifest without -cache-dir accepted")
+	} else if cliutil.ExitCode(err) != 2 {
+		t.Fatalf("exit code %d, want 2 (%v)", cliutil.ExitCode(err), err)
+	}
+
+	// Flip one byte of one covered entry: verification must fail with a
+	// plain (exit 1) integrity error naming the point.
+	victim := filepath.Join(cacheDir, m.Leaves[2].Fingerprint+".json")
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(verify, &out, &errw)
+	if err == nil {
+		t.Fatal("verify passed over a tampered store")
+	}
+	if cliutil.ExitCode(err) != 1 {
+		t.Fatalf("tamper exit code %d, want 1 (%v)", cliutil.ExitCode(err), err)
+	}
+	if !strings.Contains(err.Error(), "point 2") {
+		t.Fatalf("tamper error does not name the point: %v", err)
+	}
+}
+
 func TestRunDumpSpecRoundTrips(t *testing.T) {
 	var out, errw bytes.Buffer
 	if _, err := run([]string{"-dump-spec", "-bench", "swim", "-scheme", "IssueFIFO",

@@ -193,6 +193,28 @@ var (
 	WithHTTPClient = client.WithHTTPClient
 )
 
+// Sweep integrity: every successfully completed sweep carries a
+// tamper-evident manifest — a Merkle tree (RFC 6962 leaf/node hashing
+// over SHA-256) whose leaves are the content-addressed hashes of the
+// grid's stored result entries in grid order. SweepStream.Manifest
+// returns it after full consumption; `iqsweep -manifest` writes it and
+// `iqsweep -verify-manifest` re-hashes a store offline against it.
+type (
+	// Manifest is the tamper-evident Merkle manifest of one sweep.
+	Manifest = engine.Manifest
+	// ManifestLeaf is one grid point's entry in a Manifest.
+	ManifestLeaf = engine.ManifestLeaf
+)
+
+// Manifest entry points.
+var (
+	// BuildManifest computes the manifest for jobs and their results.
+	BuildManifest = engine.BuildManifest
+	// LoadManifest reads a manifest JSON file and checks its internal
+	// consistency (leaf order, hash syntax, Merkle root).
+	LoadManifest = engine.LoadManifest
+)
+
 // Service embedding: the distiqd HTTP experiment service as a library,
 // for programs that want to host the API themselves (see
 // examples/remotesweep).

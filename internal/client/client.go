@@ -135,6 +135,10 @@ type Stream struct {
 	err      error
 	counts   Counts
 	consumed int
+	// manifest is set by the producer before the stream closes (the
+	// channel close is the happens-before edge), so consumers read it
+	// only after Next returns false.
+	manifest *engine.Manifest
 }
 
 // newStream returns a stream for a grid with room for every point.
@@ -147,6 +151,10 @@ func (s *Stream) send(u Update) { s.ch <- item{u: u} }
 
 // fail terminates the stream with err (producer side).
 func (s *Stream) fail(err error) { s.ch <- item{err: err} }
+
+// setManifest records the sweep's manifest (producer side; must happen
+// before finish).
+func (s *Stream) setManifest(m *engine.Manifest) { s.manifest = m }
 
 // finish closes the stream after the last send or fail (producer side).
 func (s *Stream) finish() { close(s.ch) }
@@ -181,6 +189,13 @@ func (s *Stream) Grid() *scenario.Grid { return s.grid }
 
 // Counts reports how the points delivered so far were resolved.
 func (s *Stream) Counts() Counts { return s.counts }
+
+// Manifest returns the sweep's tamper-evident Merkle manifest. It is
+// available only after the stream has been fully and successfully
+// consumed (Next returned false with a nil Err, or ResultSet returned);
+// earlier — or after a failed or cancelled sweep — it returns nil. Local
+// and Remote sweeps of the same grid return identical manifests.
+func (s *Stream) Manifest() *engine.Manifest { return s.manifest }
 
 // ResultSet drains the stream and assembles the scenario result set,
 // whose CSV/JSON/markdown emitters are shared by every front end — so

@@ -104,6 +104,18 @@ func (c *Local) Sweep(ctx context.Context, grid *scenario.Grid) *Stream {
 				next++
 			}
 		})
+		if !failed && next == n {
+			results := make([]engine.Result, n)
+			for i := range results {
+				results[i] = slots[i].r
+			}
+			// Grids expanded from specs are always content-addressable;
+			// a grid that is not (hand-built with Custom schemes) simply
+			// has no manifest.
+			if m, err := engine.BuildManifest(grid.Spec.Name, grid.Jobs(), results); err == nil {
+				st.setManifest(m)
+			}
+		}
 		st.finish()
 	}()
 	return st

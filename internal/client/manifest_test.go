@@ -1,0 +1,96 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distiq/internal/client"
+	"distiq/internal/serve"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden/manifest.json from the current simulator")
+
+// TestManifestParityLocalRemote: a Local sweep and a Remote sweep of the
+// same grid produce byte-identical Merkle manifests — the manifest
+// identifies the experiment, not the substrate that ran it.
+func TestManifestParityLocalRemote(t *testing.T) {
+	local := client.NewLocal(client.WithParallel(4))
+	lst := local.Sweep(context.Background(), testGrid(t))
+	if _, err := lst.ResultSet(); err != nil {
+		t.Fatal(err)
+	}
+	lm := lst.Manifest()
+	if lm == nil {
+		t.Fatal("local sweep has no manifest")
+	}
+	if err := lm.Check(); err != nil {
+		t.Fatalf("local manifest does not verify: %v", err)
+	}
+
+	ts := httptest.NewServer(serve.New(serve.Config{Parallel: 4}))
+	defer ts.Close()
+	rst := client.NewRemote(ts.URL).Sweep(context.Background(), testGrid(t))
+	if _, err := rst.ResultSet(); err != nil {
+		t.Fatal(err)
+	}
+	rm := rst.Manifest()
+	if rm == nil {
+		t.Fatal("remote sweep has no manifest")
+	}
+
+	lj, err := json.Marshal(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := json.Marshal(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("manifests differ between substrates:\n--- local ---\n%s\n--- remote ---\n%s", lj, rj)
+	}
+}
+
+// TestGoldenManifest pins the manifest JSON shape and the exact Merkle
+// root of the canonical 4-point grid. A diff here means either the
+// simulator's results changed (bump the store version!) or the manifest
+// layout changed (a breaking format change for saved manifests) — both
+// must be deliberate; rewrite with -update-golden.
+func TestGoldenManifest(t *testing.T) {
+	st := client.NewLocal(client.WithParallel(2)).Sweep(context.Background(), testGrid(t))
+	if _, err := st.ResultSet(); err != nil {
+		t.Fatal(err)
+	}
+	m := st.Manifest()
+	if m == nil {
+		t.Fatal("sweep has no manifest")
+	}
+	got, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden", "manifest.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/client -run TestGoldenManifest -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("manifest drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

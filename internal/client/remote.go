@@ -130,6 +130,7 @@ func (c *Remote) stream(ctx context.Context, grid *scenario.Grid, st *Stream) er
 			if next != grid.Size() {
 				return fmt.Errorf("client: sweep %s stream ended after %d of %d points", id, next, grid.Size())
 			}
+			st.setManifest(ev.Manifest)
 			return nil
 		default:
 			if ev.Result == nil || ev.Index != next || next >= grid.Size() {

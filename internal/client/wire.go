@@ -34,4 +34,8 @@ type StreamEvent struct {
 	// Done terminates a successful stream; Points echoes the grid size.
 	Done   bool `json:"done,omitempty"`
 	Points int  `json:"points,omitempty"`
+	// Manifest is the sweep's tamper-evident Merkle manifest, carried on
+	// the done event only, so a streaming consumer can verify (or
+	// archive) the sweep without a second request.
+	Manifest *engine.Manifest `json:"manifest,omitempty"`
 }

@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"distiq/internal/obs"
 )
 
 // Config configures an Engine.
@@ -23,6 +26,10 @@ type Config struct {
 	// Progress, when non-nil, is invoked once per resolved job.
 	// Invocations are serialized by the engine.
 	Progress func(Progress)
+	// Obs, when non-nil, registers the engine's metrics on the registry:
+	// resolution counters mirroring Stats, queue depth, worker occupancy
+	// and a simulate-latency histogram.
+	Obs *obs.Registry
 }
 
 // Stats counts how the engine resolved the jobs requested so far. A
@@ -88,6 +95,15 @@ type Engine struct {
 	resolved atomic.Int64
 	total    atomic.Int64
 
+	// queued and running feed the observability gauges: jobs waiting for
+	// a worker slot and slots currently occupied. Maintained
+	// unconditionally (two atomic adds per job) so wiring a registry
+	// later needs no engine restart.
+	queued  atomic.Int64
+	running atomic.Int64
+	// simDur, when non-nil, records the wall time of each simulator run.
+	simDur *obs.Histogram
+
 	// statsMu guards stats so Stats() snapshots are consistent even while
 	// a cancellation is racing resolution (no half-counted request).
 	statsMu sync.Mutex
@@ -115,6 +131,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.CacheDir != "" {
 		e.store = NewStore(cfg.CacheDir)
+	}
+	if cfg.Obs != nil {
+		e.instrument(cfg.Obs)
 	}
 	return e
 }
@@ -206,18 +225,23 @@ retry:
 	// (cancellation stops scheduling; the slot is never taken). A job
 	// whose slot is already claimed runs to completion below, so the
 	// persistent store stays consistent under cancellation.
+	e.queued.Add(1)
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
+		e.queued.Add(-1)
 		return e.abandon(job, key, c, ctx.Err())
 	}
+	e.queued.Add(-1)
 	if ctx.Err() != nil {
 		// The slot and the cancellation raced; prefer the cancellation
 		// so a cancelled sweep never starts new simulations.
 		<-e.sem
 		return e.abandon(job, key, c, ctx.Err())
 	}
+	e.running.Add(1)
 	res, err, src := e.compute(job)
+	e.running.Add(-1)
 	<-e.sem
 
 	if err != nil {
@@ -262,7 +286,14 @@ func (e *Engine) compute(job Job) (Result, error, Source) {
 			return r, nil, SourceDisk
 		}
 	}
+	start := time.Time{}
+	if e.simDur != nil {
+		start = time.Now()
+	}
 	r, err := e.sim(job)
+	if e.simDur != nil {
+		e.simDur.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		return Result{}, err, SourceSimulated
 	}

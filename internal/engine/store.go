@@ -62,11 +62,10 @@ func (s *Store) Get(fp string, job Job) (Result, bool) {
 	return ent.Result, true
 }
 
-// Put persists a result under fp atomically (temp file + rename).
-func (s *Store) Put(fp string, job Job, r Result) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("engine: create store: %w", err)
-	}
+// entryBytes renders the canonical on-disk encoding of a job's result —
+// the exact bytes Put writes. Manifest leaf hashing shares it, so a
+// manifest built in memory verifies against the raw store files.
+func entryBytes(job Job, r Result) ([]byte, error) {
 	ent := entry{
 		Version:      storeVersion,
 		Benchmark:    job.Bench,
@@ -76,7 +75,15 @@ func (s *Store) Put(fp string, job Job, r Result) error {
 		Instructions: job.Opt.Instructions,
 		Result:       r,
 	}
-	data, err := json.MarshalIndent(ent, "", " ")
+	return json.MarshalIndent(ent, "", " ")
+}
+
+// Put persists a result under fp atomically (temp file + rename).
+func (s *Store) Put(fp string, job Job, r Result) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("engine: create store: %w", err)
+	}
+	data, err := entryBytes(job, r)
 	if err != nil {
 		return fmt.Errorf("engine: encode result: %w", err)
 	}

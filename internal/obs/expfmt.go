@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates that data is syntactically well-formed
+// Prometheus text exposition format (version 0.0.4): every line is a
+// comment, a `# TYPE`/`# HELP` declaration or a sample; sample names and
+// label keys are legal, label values are correctly quoted, values parse
+// as floats, TYPE declarations precede their samples and name a known
+// metric type, and no series line repeats. It is the scrape gate used by
+// the CI observability test — a strict consumer, not a full parser.
+func CheckExposition(data []byte) error {
+	types := make(map[string]kind)  // family -> declared type
+	seen := make(map[string]bool)   // exact series (name+labels) lines
+	helped := make(map[string]bool) // families with a HELP line
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "" {
+		return fmt.Errorf("obs: exposition must end with a newline")
+	}
+	lines = lines[:len(lines)-1]
+	for n, line := range lines {
+		lineNo := n + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, types, helped); err != nil {
+				return fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if !validName(name) {
+			return fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+		}
+		if err := checkLabels(labels); err != nil {
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if err := checkValue(value); err != nil {
+			return fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		fam, ok := sampleFamily(name, types)
+		if !ok {
+			return fmt.Errorf("obs: line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		series := fam + "|" + name + labels
+		if seen[series] {
+			return fmt.Errorf("obs: line %d: duplicate series %s%s", lineNo, name, labels)
+		}
+		seen[series] = true
+	}
+	return nil
+}
+
+// checkComment validates a `#`-prefixed line, recording TYPE and HELP
+// declarations. Arbitrary comments (`# anything`) pass.
+func checkComment(line string, types map[string]kind, helped map[string]bool) error {
+	if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := parts[0], kind(parts[1])
+		if !validName(name) {
+			return fmt.Errorf("TYPE line names invalid metric %q", name)
+		}
+		switch typ {
+		case counterKind, gaugeKind, histogramKind, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE declaration for %s", name)
+		}
+		types[name] = typ
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+		parts := strings.SplitN(rest, " ", 2)
+		if !validName(parts[0]) {
+			return fmt.Errorf("HELP line names invalid metric %q", parts[0])
+		}
+		if helped[parts[0]] {
+			return fmt.Errorf("duplicate HELP declaration for %s", parts[0])
+		}
+		helped[parts[0]] = true
+		return nil
+	}
+	return nil // plain comment
+}
+
+// splitSample splits a sample line into name, raw label block ("" or
+// "{...}") and value text. A trailing timestamp is rejected — the
+// registry never emits one.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i:j+1], rest[j+1:]
+		if !strings.HasPrefix(rest, " ") {
+			return "", "", "", fmt.Errorf("missing space before value in %q", line)
+		}
+		value = strings.TrimPrefix(rest, " ")
+	} else {
+		fields := strings.Split(rest, " ")
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("expected `name value` in %q", line)
+		}
+		name, value = fields[0], fields[1]
+	}
+	if strings.ContainsAny(value, " \t") {
+		return "", "", "", fmt.Errorf("unexpected timestamp or trailing data in %q", line)
+	}
+	return name, labels, value, nil
+}
+
+// checkLabels validates a raw `{k="v",...}` block.
+func checkLabels(block string) error {
+	if block == "" {
+		return nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return fmt.Errorf("empty label block")
+	}
+	rest := inner
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", block)
+		}
+		key := rest[:eq]
+		if !validLabelKey(key) {
+			return fmt.Errorf("invalid label key %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %s: value not quoted", key)
+		}
+		rest = rest[1:]
+		// Scan the quoted value honoring \\ \" \n escapes.
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				if i+1 >= len(rest) || !strings.ContainsRune(`\"n`, rune(rest[i+1])) {
+					return fmt.Errorf("label %s: bad escape", key)
+				}
+				i++
+			case '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("label %s: unterminated value", key)
+		}
+		rest = rest[end+1:]
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("expected comma after label %s", key)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+// checkValue validates a sample value: any float, or the exposition
+// spellings of the special values (+Inf, -Inf, NaN).
+func checkValue(v string) error {
+	switch v {
+	case "+Inf", "-Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(v, 64); err != nil {
+		return fmt.Errorf("bad sample value %q", v)
+	}
+	return nil
+}
+
+// sampleFamily resolves a sample name to its declared family, accepting
+// the histogram component suffixes (_bucket/_sum/_count) and summary
+// quantile suffixes against their base declaration.
+func sampleFamily(name string, types map[string]kind) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		switch types[base] {
+		case histogramKind:
+			return base, true
+		case "summary":
+			if suffix != "_bucket" {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}

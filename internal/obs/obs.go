@@ -1,0 +1,463 @@
+// Package obs is a dependency-free observability layer: a small metrics
+// registry — counters, gauges, function-backed metrics and histograms
+// with fixed buckets — that renders the Prometheus text exposition
+// format, so a long-lived service (distiqd) can be scraped by any
+// standard monitoring stack without pulling a client library into the
+// module.
+//
+// The registry is safe for concurrent use; registration is idempotent
+// (asking for an existing name+labels returns the same instance) and
+// rendering is deterministic: families sort by name, series by label
+// signature, so two scrapes of the same state are byte-identical.
+//
+// Metric and label names are validated at registration and violations
+// panic — metrics are wired at startup, and a misnamed metric is a
+// programming error, not a runtime condition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind is the Prometheus metric type of a family.
+type kind string
+
+const (
+	counterKind   kind = "counter"
+	gaugeKind     kind = "gauge"
+	histogramKind kind = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored (counters
+// are monotonic by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	upper []float64
+
+	mu     sync.Mutex
+	counts []uint64 // len(upper)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observed values so far.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts, the sum and the total.
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return cum, h.sum, h.total
+}
+
+// ExpBuckets returns n exponentially growing bucket upper bounds:
+// start, start*factor, start*factor², … — the standard latency-histogram
+// layout. It panics on non-positive start, factor <= 1 or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid exponential buckets (start %g, factor %g, n %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label
+	sig    string // rendered label block, e.g. {a="x",b="y"} or ""
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // function-backed counter/gauge
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64 // histogram families only
+	series     map[string]*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// The zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	var c *Counter
+	r.lookup(name, help, counterKind, nil, labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+		c = s.counter
+	})
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	var g *Gauge
+	r.lookup(name, help, gaugeKind, nil, labels, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+		g = s.gauge
+	})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, counterKind, nil, labels, func(s *series) { s.fn = fn })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, gaugeKind, nil, labels, func(s *series) { s.fn = fn })
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use. buckets are ascending upper bounds (see ExpBuckets); every series
+// of one family must use the same buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) || (i > 0 && b <= buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %s: buckets must be finite and ascending", name))
+		}
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s: no buckets", name))
+	}
+	var h *Histogram
+	r.lookup(name, help, histogramKind, buckets, labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = &Histogram{
+				upper:  append([]float64(nil), buckets...),
+				counts: make([]uint64, len(buckets)+1),
+			}
+		}
+		h = s.hist
+	})
+	return h
+}
+
+// lookup finds or creates the series for name+labels and runs init on it
+// under the registry lock (so instance creation never races a scrape).
+// It panics on inconsistent re-registration.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label, init func(*series)) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label key %q", name, l.Key))
+		}
+	}
+	sig := labelSig(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, k))
+	} else if k == histogramKind && !sameBuckets(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s re-registered with different buckets", name))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: append([]Label(nil), labels...), sig: sig}
+		f.series[sig] = s
+	}
+	init(s)
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), deterministically ordered.
+// Series registered concurrently with a scrape appear from the next
+// scrape on; values are read live at render time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type renderSeries struct {
+		sig    string
+		labels []Label
+		value  func() float64 // scalar series
+		hist   *Histogram     // histogram series
+	}
+	type renderFamily struct {
+		name, help string
+		kind       kind
+		series     []renderSeries
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]renderFamily, 0, len(names))
+	for _, name := range names {
+		f := r.fams[name]
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		rf := renderFamily{name: f.name, help: f.help, kind: f.kind}
+		for _, sig := range sigs {
+			s := f.series[sig]
+			rs := renderSeries{sig: s.sig, labels: s.labels, hist: s.hist}
+			switch {
+			case s.fn != nil:
+				rs.value = s.fn
+			case s.counter != nil:
+				rs.value = s.counter.Value
+			case s.gauge != nil:
+				rs.value = s.gauge.Value
+			default:
+				rs.value = func() float64 { return 0 }
+			}
+			rf.series = append(rf.series, rs)
+		}
+		fams = append(fams, rf)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case histogramKind:
+				writeHistogram(&b, f.name, s.labels, s.sig, s.hist)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.sig, formatValue(s.value()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// (le-labeled), then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, labels []Label, sig string, h *Histogram) {
+	cum, sum, total := h.snapshot()
+	for i, upper := range h.upper {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(labels, formatValue(upper)), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), cum[len(cum)-1])
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, sig, formatValue(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, sig, total)
+}
+
+// withLE renders a label block with the le label appended.
+func withLE(labels []Label, le string) string {
+	return labelSig(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
+}
+
+// labelSig renders labels as a deterministic {k="v",...} block (sorted
+// by key; empty for no labels).
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value; integral values render without an
+// exponent or decimal point, so counters read naturally.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// validName reports whether s is a legal metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s is a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

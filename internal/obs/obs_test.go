@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.", L("source", "disk"))
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(7)
+	g.Dec()
+
+	got := render(t, r)
+	want := "# HELP jobs_total Total jobs.\n" +
+		"# TYPE jobs_total counter\n" +
+		`jobs_total{source="disk"} 4` + "\n" +
+		"# HELP queue_depth Jobs waiting.\n" +
+		"# TYPE queue_depth gauge\n" +
+		"queue_depth 6\n"
+	if got != want {
+		t.Errorf("rendered exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", L("route", "/x"))
+	b := r.Counter("hits_total", "h", L("route", "/x"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	other := r.Counter("hits_total", "h", L("route", "/y"))
+	if a == other {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestFuncMetricsReadLive(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	var mu sync.Mutex
+	r.GaugeFunc("live", "", func() float64 { mu.Lock(); defer mu.Unlock(); return v })
+	if !strings.Contains(render(t, r), "live 1\n") {
+		t.Error("first scrape missing live 1")
+	}
+	mu.Lock()
+	v = 2.5
+	mu.Unlock()
+	if !strings.Contains(render(t, r), "live 2.5\n") {
+		t.Error("second scrape missing updated value 2.5")
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Errorf("Sum = %g, want 56.05", h.Sum())
+	}
+	got := render(t, r)
+	for _, line := range []string{
+		`dur_seconds_bucket{le="0.1"} 1`,
+		`dur_seconds_bucket{le="1"} 3`,
+		`dur_seconds_bucket{le="10"} 4`,
+		`dur_seconds_bucket{le="+Inf"} 5`,
+		`dur_seconds_sum 56.05`,
+		`dur_seconds_count 5`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", "", []float64{1, 2})
+	h.Observe(1) // exactly on an upper bound: le="1" is inclusive
+	if got := render(t, r); !strings.Contains(got, `b_bucket{le="1"} 1`+"\n") {
+		t.Errorf("observation on bucket boundary not counted inclusively:\n%s", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid ExpBuckets did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	mk := func() string {
+		r := NewRegistry()
+		r.Gauge("zzz", "")
+		r.Counter("aaa_total", "", L("b", "2"), L("a", "1")).Inc()
+		r.Counter("aaa_total", "", L("a", "0"), L("b", "9")).Inc()
+		r.Histogram("mid_seconds", "", []float64{1})
+		return render(t, &Registry{fams: r.fams})
+	}
+	first := mk()
+	for i := 0; i < 5; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("non-deterministic rendering:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Families sort by name, label keys sort within a block.
+	if !strings.Contains(first, `aaa_total{a="0",b="9"}`) {
+		t.Errorf("label keys not sorted:\n%s", first)
+	}
+	aaa, mid, zzz := strings.Index(first, "# TYPE aaa_total"), strings.Index(first, "# TYPE mid_seconds"), strings.Index(first, "# TYPE zzz")
+	if !(aaa >= 0 && aaa < mid && mid < zzz) {
+		t.Errorf("families not sorted by name:\n%s", first)
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line1\nline2 \\ backslash", L("path", "a\"b\\c\nd")).Inc()
+	got := render(t, r)
+	if !strings.Contains(got, `# HELP esc_total line1\nline2 \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+	if err := CheckExposition([]byte(got)); err != nil {
+		t.Errorf("escaped exposition rejected: %v", err)
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, f := range []func(){
+		func() { r.Counter("0bad", "") },
+		func() { r.Counter("has space", "") },
+		func() { r.Gauge("ok", "", L("0key", "v")) },
+		func() { r.Histogram("h", "", nil) },
+		func() { r.Histogram("h2", "", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid registration did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("thing_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("thing_total", "")
+}
+
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", "", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering histogram with different buckets did not panic")
+		}
+	}()
+	r.Histogram("lat", "", []float64{1, 3})
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", ExpBuckets(0.001, 10, 5))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("conc_total", "", L("w", string(rune('a'+w)))).Inc()
+				r.Gauge("conc_gauge", "").Add(1)
+				h.Observe(float64(i) / 100)
+				if i%50 == 0 {
+					render(t, r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := render(t, r)
+	if !strings.Contains(got, "conc_gauge 1600\n") {
+		t.Errorf("gauge lost updates:\n%s", got)
+	}
+	if !strings.Contains(got, "conc_seconds_count 1600\n") {
+		t.Errorf("histogram lost observations:\n%s", got)
+	}
+	if err := CheckExposition([]byte(got)); err != nil {
+		t.Errorf("concurrent-use exposition invalid: %v", err)
+	}
+}
+
+func TestCheckExpositionAccepts(t *testing.T) {
+	ok := "# plain comment\n" +
+		"# HELP up Is it up.\n" +
+		"# TYPE up gauge\n" +
+		"up 1\n" +
+		"# TYPE lat_seconds histogram\n" +
+		`lat_seconds_bucket{le="0.1"} 2` + "\n" +
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n" +
+		"lat_seconds_sum 0.42\n" +
+		"lat_seconds_count 3\n" +
+		"# TYPE weird untyped\n" +
+		"weird -1.5e3\n"
+	if err := CheckExposition([]byte(ok)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no trailing newline":           "# TYPE a gauge\na 1",
+		"sample without TYPE":           "a 1\n",
+		"bad value":                     "# TYPE a gauge\na one\n",
+		"bad metric name":               "# TYPE a gauge\na 1\n# TYPE 0b gauge\n",
+		"unknown type":                  "# TYPE a widget\n",
+		"duplicate TYPE":                "# TYPE a gauge\n# TYPE a gauge\n",
+		"duplicate series":              "# TYPE a gauge\na 1\na 2\n",
+		"unquoted label value":          "# TYPE a gauge\na{x=1} 1\n",
+		"bad label key":                 "# TYPE a gauge\n" + `a{0x="1"} 1` + "\n",
+		"unterminated value":            "# TYPE a gauge\n" + `a{x="1} 1` + "\n",
+		"trailing timestamp":            "# TYPE a gauge\na 1 1234567\n",
+		"histogram suffix without base": `lat_bucket{le="+Inf"} 1` + "\n",
+	}
+	for name, data := range cases {
+		if err := CheckExposition([]byte(data)); err == nil {
+			t.Errorf("%s: accepted invalid exposition %q", name, data)
+		}
+	}
+}

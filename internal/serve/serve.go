@@ -17,12 +17,19 @@
 //	                              grid order as they resolve (the Client
 //	                              layer's RemoteClient consumes this)
 //	GET  /v1/sweeps/{id}/status   per-sweep progress and resolution counts
+//	GET  /v1/sweeps/{id}/manifest the sweep's tamper-evident Merkle
+//	                              manifest (202 while running)
 //	GET  /v1/machine              the paper's Table 1 machine
 //	GET  /v1/benchmarks           workload names per suite
 //	GET  /v1/stats                engine-wide resolution counters
-//	GET  /healthz                 liveness
+//	GET  /v1/version              build and process identity
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 readiness (503 while draining)
+//	GET  /livez                   liveness
 //
-// Every error body has one stable shape: {"code": ..., "error": ...}.
+// Every error body has one stable shape: {"code": ..., "error": ...},
+// and every response carries an X-Request-Id header (honored from the
+// request or generated) that also tags the server's structured logs.
 // Specs are expanded and validated before admission (invalid grids never
 // occupy a queue slot), admitted sweeps run asynchronously on the shared
 // engine's worker pool, and Drain provides graceful shutdown: new
@@ -35,14 +42,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"distiq/internal/client"
 	"distiq/internal/core"
 	"distiq/internal/engine"
 	"distiq/internal/isa"
+	"distiq/internal/obs"
 	"distiq/internal/pipeline"
 	"distiq/internal/scenario"
 	"distiq/internal/trace"
@@ -78,8 +87,11 @@ type Config struct {
 	// Simulate overrides the simulation function (tests inject stubs);
 	// nil selects the real simulator.
 	Simulate func(engine.Job) (engine.Result, error)
-	// Log, when non-nil, receives one line per sweep lifecycle event.
-	Log *log.Logger
+	// Logger, when non-nil, receives one structured record per HTTP
+	// request and per sweep lifecycle event, each carrying the
+	// request_id echoed in the X-Request-Id response header. Nil
+	// discards logs.
+	Logger *slog.Logger
 }
 
 // sweepState is the lifecycle of one admitted sweep.
@@ -103,6 +115,10 @@ type sweep struct {
 	id   string
 	name string
 	grid *scenario.Grid
+	// reqID is the submitting request's ID, threaded through every
+	// lifecycle log line so a sweep's records correlate with the
+	// submission.
+	reqID string
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -118,6 +134,9 @@ type sweep struct {
 	ready   []bool
 	res     *scenario.ResultSet
 	err     error
+	// manifest is the sweep's tamper-evident Merkle manifest, built once
+	// when the sweep completes successfully.
+	manifest *engine.Manifest
 }
 
 // Status is the JSON progress document of one sweep.
@@ -166,8 +185,18 @@ type Server struct {
 	eng        *engine.Engine
 	maxQueued  int
 	maxHistory int
-	logger     *log.Logger
+	log        *slog.Logger
 	mux        *http.ServeMux
+	obs        *obs.Registry
+	start      time.Time
+
+	// Server-level metric instruments (the engine's live on the same
+	// registry).
+	httpInFlight   *obs.Gauge
+	sweepsAccepted *obs.Counter
+	sweepsDone     *obs.Counter
+	sweepsFailed   *obs.Counter
+	instsPerSec    *obs.Gauge
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweep
@@ -189,44 +218,63 @@ func New(cfg Config) *Server {
 	if maxHistory <= 0 {
 		maxHistory = DefaultMaxHistory
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		eng: engine.New(engine.Config{
 			Workers:  cfg.Parallel,
 			CacheDir: cfg.CacheDir,
 			Simulate: cfg.Simulate,
+			Obs:      reg,
 		}),
 		maxQueued:  maxQueued,
 		maxHistory: maxHistory,
-		logger:     cfg.Log,
+		log:        logger,
+		obs:        reg,
+		start:      time.Now(),
 		sweeps:     make(map[string]*sweep),
 	}
+	s.instrument()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sweeps", s.handleList)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleResult)
-	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /v1/sweeps/{id}/status", s.handleStatus)
-	mux.HandleFunc("GET /v1/machine", s.handleMachine)
-	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route(mux, "POST /v1/sweeps", s.handleSubmit)
+	s.route(mux, "GET /v1/sweeps", s.handleList)
+	s.route(mux, "GET /v1/sweeps/{id}", s.handleResult)
+	s.route(mux, "GET /v1/sweeps/{id}/stream", s.handleStream)
+	s.route(mux, "GET /v1/sweeps/{id}/status", s.handleStatus)
+	s.route(mux, "GET /v1/sweeps/{id}/manifest", s.handleManifest)
+	s.route(mux, "GET /v1/machine", s.handleMachine)
+	s.route(mux, "GET /v1/benchmarks", s.handleBenchmarks)
+	s.route(mux, "GET /v1/stats", s.handleStats)
+	s.route(mux, "GET /v1/version", s.handleVersion)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	s.route(mux, "GET /healthz", s.handleHealth)
+	s.route(mux, "GET /livez", s.handleLive)
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP dispatches to the service's routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
-}
+// discardHandler drops every record (slog.DiscardHandler arrived in Go
+// 1.24; the module supports 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// DiscardHandler returns a slog.Handler that drops every record — the
+// logger a front end uses under -quiet.
+func DiscardHandler() slog.Handler { return discardHandler{} }
 
 // Stats returns the shared engine's resolution counters.
 func (s *Server) Stats() engine.Stats { return s.eng.Stats() }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
-}
+// Metrics returns the server's metric registry — the families served at
+// /metrics — for embedders that add their own instruments.
+func (s *Server) Metrics() *obs.Registry { return s.obs }
 
 // apiError is the one error-body shape of the whole API.
 type apiError struct {
@@ -300,6 +348,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:      fmt.Sprintf("sw-%06d", s.nextID),
 		name:    spec.Name,
 		grid:    grid,
+		reqID:   RequestID(r.Context()),
 		state:   stateQueued,
 		total:   grid.Size(),
 		results: make([]engine.Result, grid.Size()),
@@ -313,7 +362,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.logf("sweep %s accepted (%d points)", sw.id, sw.total)
+	s.sweepsAccepted.Inc()
+	s.log.Info("sweep accepted",
+		"sweep", sw.id, "name", sw.name, "points", sw.total, "request_id", sw.reqID)
 	// Snapshot the documented "queued" response before the sweep starts:
 	// on a warm store a tiny grid could otherwise finish first and the
 	// 202 body would surprise clients pinned to the documented shape.
@@ -330,6 +381,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // the per-sweep resolution counters.
 func (s *Server) runSweep(sw *sweep, grid *scenario.Grid) {
 	defer s.wg.Done()
+	started := time.Now()
 	sw.mu.Lock()
 	sw.state = stateRunning
 	sw.cond.Broadcast()
@@ -356,11 +408,26 @@ func (s *Server) runSweep(sw *sweep, grid *scenario.Grid) {
 		}
 	}
 
+	elapsed := time.Since(started)
+	var manifest *engine.Manifest
+	var insts uint64
+	if err == nil {
+		for _, r := range sw.results {
+			insts += r.Insts
+		}
+		// The manifest name is the spec name (as the Local client uses),
+		// so a Remote sweep's manifest is identical to a Local sweep of
+		// the same grid. Spec-expanded grids are always addressable; a
+		// build failure is a server bug, surfaced at the endpoint.
+		manifest, err = engine.BuildManifest(sw.name, grid.Jobs(), sw.results)
+	}
+
 	sw.mu.Lock()
 	if err != nil {
 		sw.state, sw.err = stateFailed, err
 	} else {
 		sw.state = stateDone
+		sw.manifest = manifest
 		sw.res = &scenario.ResultSet{Grid: grid, Results: sw.results, Stats: s.eng.Stats()}
 	}
 	sw.cond.Broadcast()
@@ -372,10 +439,22 @@ func (s *Server) runSweep(sw *sweep, grid *scenario.Grid) {
 	s.mu.Unlock()
 
 	if st := sw.status(); err != nil {
-		s.logf("sweep %s failed: %v", sw.id, err)
+		s.sweepsFailed.Inc()
+		s.log.Error("sweep failed",
+			"sweep", sw.id, "error", err.Error(),
+			"duration_s", elapsed.Seconds(), "request_id", sw.reqID)
 	} else {
-		s.logf("sweep %s done (%d simulated, %d memory, %d disk, %d shared)",
-			sw.id, st.Simulated, st.MemoryHits, st.DiskHits, st.Shared)
+		ips := float64(insts) / elapsed.Seconds()
+		s.instsPerSec.Set(ips)
+		s.sweepsDone.Inc()
+		s.log.Info("sweep done",
+			"sweep", sw.id,
+			"simulated", st.Simulated, "memory", st.MemoryHits,
+			"disk", st.DiskHits, "shared", st.Shared,
+			"duration_s", elapsed.Seconds(),
+			"insts_per_second", ips,
+			"merkle_root", manifest.Root,
+			"request_id", sw.reqID)
 	}
 }
 
@@ -407,7 +486,7 @@ func (s *Server) evictLocked() {
 		delete(s.sweeps, sw.id)
 		s.order = append(s.order[:i], s.order[i+1:]...)
 		finished--
-		s.logf("sweep %s evicted (history > %d)", sw.id, s.maxHistory)
+		s.log.Info("sweep evicted", "sweep", sw.id, "max_history", s.maxHistory)
 	}
 }
 
@@ -490,7 +569,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// The response may be partially written; nothing more to do
 		// than log (Emit only fails on writer errors here, the format
 		// was validated above).
-		s.logf("sweep %s: emit %s: %v", sw.id, format, err)
+		s.log.Warn("emit failed", "sweep", sw.id, "format", format, "error", err.Error())
 	}
 }
 
@@ -561,10 +640,46 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	enc.Encode(client.StreamEvent{Done: true, Points: sw.total}) //nolint:errcheck // stream already committed
+	// Every point is out; wait for the sweep's terminal transition so the
+	// done event can carry the manifest (built right after the last point
+	// resolves — the wait is momentary).
+	sw.mu.Lock()
+	for sw.state != stateDone && sw.state != stateFailed && ctx.Err() == nil {
+		sw.cond.Wait()
+	}
+	manifest := sw.manifest
+	sw.mu.Unlock()
+	if ctx.Err() != nil {
+		return
+	}
+	enc.Encode(client.StreamEvent{Done: true, Points: sw.total, Manifest: manifest}) //nolint:errcheck // stream already committed
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// handleManifest serves a finished sweep's tamper-evident Merkle
+// manifest: 202 with the status document while the sweep is queued or
+// running, the sweep's error while failed, the manifest JSON once done.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookup(w, r)
+	if sw == nil {
+		return
+	}
+	sw.mu.Lock()
+	st := sw.statusLocked()
+	m := sw.manifest
+	err := sw.err
+	sw.mu.Unlock()
+	switch sweepState(st.State) {
+	case stateQueued, stateRunning:
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	case stateFailed:
+		writeError(w, http.StatusInternalServerError, "sweep_failed", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // machineDoc is the stable JSON rendering of the Table 1 machine. It is
@@ -650,11 +765,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealth is a liveness probe.
+// healthDoc is the readiness body: ok flips false (with HTTP 503) once
+// the server is draining, so load balancers stop routing new work while
+// in-flight sweeps finish. Liveness stays separate at /livez.
+type healthDoc struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+// handleHealth is the readiness probe.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		OK bool `json:"ok"`
-	}{true})
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, healthDoc{OK: false, Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthDoc{OK: true})
 }
 
 // Drain stops admitting new sweeps (submissions answer 503) and blocks
@@ -664,6 +792,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("draining: refusing new sweeps, waiting for in-flight")
 	finished := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -363,6 +363,34 @@ func TestDrainRefusesAndWaits(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	// ...and the readiness probe must flip: 503 with the draining flag,
+	// so load balancers stop routing while /livez still answers 200.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz status = %d, body %s", hresp.StatusCode, hbody)
+	}
+	var health struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		t.Fatalf("draining /healthz body %s: %v", hbody, err)
+	}
+	if health.OK || !health.Draining {
+		t.Fatalf("draining /healthz = %+v, want ok=false draining=true", health)
+	}
+	var live struct {
+		OK bool `json:"ok"`
+	}
+	getJSON(t, ts, "/livez", &live) // getJSON fails unless 200
+	if !live.OK {
+		t.Fatal("draining /livez not ok")
+	}
 	// ...while the in-flight sweep is still running.
 	select {
 	case err := <-drained:
