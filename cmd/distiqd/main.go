@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"distiq/internal/cliutil"
+	"distiq/internal/engine"
 	"distiq/internal/serve"
 )
 
@@ -98,6 +99,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
 		os.Exit(1)
 	}
+	// Drained: close the adopted store, flushing any write-behind batch.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "distiqd: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // newLogger builds the process logger from the -log-format and
@@ -137,7 +143,8 @@ func setup(argv []string, stderr io.Writer) (*serve.Server, *slog.Logger, string
 	var (
 		addr      = fs.String("addr", ":8090", "listen address")
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir  = fs.String("cache-dir", "", "persistent result store directory, shared with the iq* CLIs")
+		cacheDir  = fs.String("cache-dir", "", "persistent result store directory (alias for -store fs:DIR), shared with the iq* CLIs")
+		storeSpec = fs.String("store", "", "result-store backend: fs:DIR, mem, http(s)://URL, tier:SPEC,..., batch:SPEC")
 		maxQueued = fs.Int("max-queued", serve.DefaultMaxQueued, "maximum admitted-but-unfinished sweeps before 429")
 		logFormat = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -150,7 +157,11 @@ func setup(argv []string, stderr io.Writer) (*serve.Server, *slog.Logger, string
 		// The FlagSet has already written the message and usage.
 		return nil, nil, "", cliutil.BadInput(err)
 	}
-	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		return nil, nil, "", err
+	}
+	effStore, err := cliutil.ResolveStoreFlags(*storeSpec, *cacheDir)
+	if err != nil {
 		return nil, nil, "", err
 	}
 	if err := cliutil.ValidateMaxQueued(*maxQueued); err != nil {
@@ -162,8 +173,16 @@ func setup(argv []string, stderr io.Writer) (*serve.Server, *slog.Logger, string
 	}
 	cfg := serve.Config{
 		Parallel:  *parallel,
-		CacheDir:  *cacheDir,
 		MaxQueued: *maxQueued,
+	}
+	if effStore != "" {
+		// The service adopts the store: Server.Close (called after Drain)
+		// closes it, which for a batch: spec flushes the final group.
+		store, err := engine.OpenStore(effStore)
+		if err != nil {
+			return nil, nil, "", cliutil.BadInput(err)
+		}
+		cfg.Store = store
 	}
 	if !*quiet {
 		cfg.Logger = logger

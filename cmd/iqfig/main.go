@@ -39,17 +39,18 @@ func fail(err error) {
 
 func main() {
 	var (
-		figN     = flag.Int("fig", 0, "figure number to regenerate (2-4, 6-15)")
-		all      = flag.Bool("all", false, "regenerate every figure")
-		n        = flag.Uint64("n", 100_000, "instructions measured per run")
-		bars     = flag.Bool("bars", false, "render figures as ASCII bar charts")
-		cycle    = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
-		csv      = flag.Bool("csv", false, "emit tables as CSV")
-		md       = flag.Bool("md", false, "emit tables as markdown")
-		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions per run")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		cacheDir = flag.String("cache-dir", "", "persistent result store directory, reused across runs")
-		quiet    = flag.Bool("quiet", false, "suppress the progress reporter on stderr")
+		figN      = flag.Int("fig", 0, "figure number to regenerate (2-4, 6-15)")
+		all       = flag.Bool("all", false, "regenerate every figure")
+		n         = flag.Uint64("n", 100_000, "instructions measured per run")
+		bars      = flag.Bool("bars", false, "render figures as ASCII bar charts")
+		cycle     = flag.Bool("cycletime", false, "run the cycle-time what-if extension study")
+		csv       = flag.Bool("csv", false, "emit tables as CSV")
+		md        = flag.Bool("md", false, "emit tables as markdown")
+		warmup    = flag.Uint64("warmup", 20_000, "warmup instructions per run")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (alias for -store fs:DIR), reused across runs")
+		storeSpec = flag.String("store", "", "result-store backend: fs:DIR, mem, http(s)://URL, tier:SPEC,..., batch:SPEC")
+		quiet     = flag.Bool("quiet", false, "suppress the progress reporter on stderr")
 	)
 	flag.Parse()
 
@@ -58,7 +59,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "iqfig:", err)
+		os.Exit(2)
+	}
+	effStore, err := cliutil.ResolveStoreFlags(*storeSpec, *cacheDir)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqfig:", err)
 		os.Exit(2)
 	}
@@ -66,9 +72,22 @@ func main() {
 	// The figure harness rides the Client layer: build the local client
 	// with functional options and bind the session to a signal context,
 	// so Ctrl-C cancels mid-figure.
-	opts := []distiq.ClientOption{
-		distiq.WithParallel(*parallel),
-		distiq.WithCacheDir(*cacheDir),
+	opts := []distiq.ClientOption{distiq.WithParallel(*parallel)}
+	if effStore != "" {
+		store, err := distiq.OpenStore(effStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iqfig:", err)
+			os.Exit(2)
+		}
+		// Close flushes any write-behind batches on the normal exit path;
+		// a failed flush (lost results) is reported but does not fail the
+		// run — the figures already printed.
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "iqfig:", cerr)
+			}
+		}()
+		opts = append(opts, distiq.WithStore(store))
 	}
 	var reporter *distiq.ConsoleReporter
 	if !*quiet {

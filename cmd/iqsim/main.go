@@ -25,23 +25,29 @@ import (
 
 func main() {
 	var (
-		bench    = flag.String("bench", "swim", "benchmark name (see -list)")
-		config   = flag.String("config", "MB_distr", "configuration: IQ_unbounded, IQ_64_64, IF_distr, MB_distr, IssueFIFO, LatFIFO, MixBUFF")
-		intq     = flag.String("intq", "8x8", "integer queues AxB (IssueFIFO/LatFIFO/MixBUFF configs)")
-		fpq      = flag.String("fpq", "8x16", "FP queues CxD")
-		chains   = flag.Int("chains", 8, "chains per FP queue for MixBUFF (0 = unbounded)")
-		distr    = flag.Bool("distr", false, "distribute functional units across queues")
-		n        = flag.Uint64("n", 200_000, "instructions to measure")
-		warmup   = flag.Uint64("warmup", 20_000, "warmup instructions")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		traceN   = flag.Int64("trace", 0, "print a pipeline trace for the first N cycles after warmup")
-		showcfg  = flag.Bool("table1", false, "print the processor configuration and exit")
-		parallel = flag.Int("parallel", 1, "engine worker-pool size (one job needs no more)")
-		cacheDir = flag.String("cache-dir", "", "persistent result store directory; a rerun with the same job is served from disk (ignored with -trace)")
+		bench     = flag.String("bench", "swim", "benchmark name (see -list)")
+		config    = flag.String("config", "MB_distr", "configuration: IQ_unbounded, IQ_64_64, IF_distr, MB_distr, IssueFIFO, LatFIFO, MixBUFF")
+		intq      = flag.String("intq", "8x8", "integer queues AxB (IssueFIFO/LatFIFO/MixBUFF configs)")
+		fpq       = flag.String("fpq", "8x16", "FP queues CxD")
+		chains    = flag.Int("chains", 8, "chains per FP queue for MixBUFF (0 = unbounded)")
+		distr     = flag.Bool("distr", false, "distribute functional units across queues")
+		n         = flag.Uint64("n", 200_000, "instructions to measure")
+		warmup    = flag.Uint64("warmup", 20_000, "warmup instructions")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		traceN    = flag.Int64("trace", 0, "print a pipeline trace for the first N cycles after warmup")
+		showcfg   = flag.Bool("table1", false, "print the processor configuration and exit")
+		parallel  = flag.Int("parallel", 1, "engine worker-pool size (one job needs no more)")
+		cacheDir  = flag.String("cache-dir", "", "persistent result store directory (alias for -store fs:DIR); a rerun with the same job is served from the store (ignored with -trace)")
+		storeSpec = flag.String("store", "", "result-store backend: fs:DIR, mem, http(s)://URL, tier:SPEC,..., batch:SPEC")
 	)
 	flag.Parse()
 
-	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "iqsim:", err)
+		os.Exit(2)
+	}
+	effStore, err := cliutil.ResolveStoreFlags(*storeSpec, *cacheDir)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqsim:", err)
 		os.Exit(2)
 	}
@@ -68,15 +74,27 @@ func main() {
 		// Ctrl-C interrupts a long run cleanly (exit 130).
 		ctx, stop := cliutil.SignalContext()
 		defer stop()
-		cl := distiq.NewLocalClient(
-			distiq.WithParallel(*parallel),
-			distiq.WithCacheDir(*cacheDir),
-		)
+		opts := []distiq.ClientOption{distiq.WithParallel(*parallel)}
+		var store distiq.ResultStore
+		if effStore != "" {
+			store, err = distiq.OpenStore(effStore)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iqsim:", err)
+				os.Exit(2)
+			}
+			opts = append(opts, distiq.WithStore(store))
+		}
+		cl := distiq.NewLocalClient(opts...)
 		res, err = cl.Run(ctx, distiq.Job{
 			Bench:  *bench,
 			Config: cfg,
 			Opt:    distiq.Options{Warmup: *warmup, Instructions: *n},
 		})
+		if store != nil {
+			if cerr := store.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if st := cl.Stats(); st.DiskHits > 0 {
 			fmt.Fprintln(os.Stderr, "iqsim: result served from the persistent store")
 		}

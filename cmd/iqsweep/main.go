@@ -7,17 +7,29 @@
 // (-dump-spec prints it).
 //
 // The grid runs through the Client layer: locally on the in-process
-// engine (simulations shard across -parallel workers, -cache-dir reuses
-// results across invocations) or, with -server, on a remote distiqd via
-// its streaming endpoint — same grid, byte-identical output either way.
-// Output rows stay in deterministic grid order; a warm rerun performs
-// zero simulations and emits identical bytes. Ctrl-C cancels cleanly
-// (exit 130): scheduling stops, in-flight simulations finish and
-// persist, and a rerun completes only the remainder.
+// engine (simulations shard across -parallel workers, -store selects a
+// result-store backend reused across invocations) or, with -server, on
+// a remote distiqd via its streaming endpoint — same grid,
+// byte-identical output either way. Output rows stay in deterministic
+// grid order; a warm rerun performs zero simulations and emits
+// identical bytes. Ctrl-C cancels cleanly (exit 130): scheduling stops,
+// in-flight simulations finish and persist, and a rerun completes only
+// the remainder.
+//
+// Result-store backends (-store SPEC; -cache-dir DIR remains as the
+// alias for -store fs:DIR):
+//
+//	fs:DIR                 on-disk distiq-v2 store
+//	mem                    in-memory (one process)
+//	http://host/           remote HTTP blob store (see internal/blobstore)
+//	tier:mem,fs:DIR        read-through tiers, fastest first
+//	batch:SPEC             write-behind group commit over SPEC
 //
 // Usage:
 //
 //	iqsweep -spec grid.json -cache-dir /tmp/distiq-cache
+//	iqsweep -spec grid.json -store tier:mem,fs:/tmp/distiq-cache
+//	iqsweep -spec grid.json -store batch:http://blobs.internal/
 //	iqsweep -spec grid.json -server http://localhost:8090
 //	iqsweep -spec grid.json -format md -o results.md
 //	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
@@ -27,11 +39,12 @@
 // Integrity: -manifest writes the sweep's tamper-evident Merkle
 // manifest (leaves are the content-addressed hashes of the stored
 // result entries, in grid order), and -verify-manifest re-hashes a
-// -cache-dir store offline against such a manifest, exiting non-zero if
-// any byte of any covered entry changed:
+// store offline against such a manifest, exiting non-zero if any byte
+// of any covered entry changed — against any backend:
 //
 //	iqsweep -spec grid.json -cache-dir /tmp/c -manifest sweep.json
 //	iqsweep -verify-manifest sweep.json -cache-dir /tmp/c
+//	iqsweep -verify-manifest sweep.json -store http://blobs.internal/
 //
 // A spec sweeping scheme × ROB × perfect disambiguation:
 //
@@ -107,13 +120,14 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		n       = fs.Uint64("n", 60_000, "instructions per run")
 		warmup  = fs.Uint64("warmup", 10_000, "warmup instructions")
 
-		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; local runs)")
-		cacheDir = fs.String("cache-dir", "", "persistent result store directory, reused across runs (local runs)")
-		server   = fs.String("server", "", "run the sweep on a distiqd at this base URL instead of in-process")
-		quiet    = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; local runs)")
+		cacheDir  = fs.String("cache-dir", "", "persistent result store directory (alias for -store fs:DIR; local runs)")
+		storeSpec = fs.String("store", "", "result-store backend: fs:DIR, mem, http(s)://URL, tier:SPEC,..., batch:SPEC (local runs)")
+		server    = fs.String("server", "", "run the sweep on a distiqd at this base URL instead of in-process")
+		quiet     = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
 
 		manifestOut = fs.String("manifest", "", "write the sweep's tamper-evident Merkle manifest to this JSON file")
-		verifyPath  = fs.String("verify-manifest", "", "verify a manifest file against the -cache-dir store and exit (no sweep runs)")
+		verifyPath  = fs.String("verify-manifest", "", "verify a manifest file against the -store/-cache-dir store and exit (no sweep runs)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -122,12 +136,16 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		// The FlagSet has already written the message and usage.
 		return distiq.EngineStats{}, fmt.Errorf("%w: %v", errBadFlags, err)
 	}
-	if err := cliutil.ValidateEngineFlags(*parallel, *cacheDir); err != nil {
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		return distiq.EngineStats{}, err
+	}
+	effStore, err := cliutil.ResolveStoreFlags(*storeSpec, *cacheDir)
+	if err != nil {
 		return distiq.EngineStats{}, err
 	}
 
 	if *verifyPath != "" {
-		return distiq.EngineStats{}, verifyManifest(*verifyPath, *cacheDir, stderr)
+		return distiq.EngineStats{}, verifyManifest(*verifyPath, effStore, stderr)
 	}
 
 	spec, err := assembleSpec(*specPath, legacyFlags{
@@ -163,12 +181,20 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	var reporter *distiq.ConsoleReporter
 	var cl distiq.Client
 	var local *distiq.LocalClient
+	var store distiq.ResultStore
 	if *server != "" {
 		cl = distiq.NewRemoteClient(*server)
 	} else {
-		opts := []distiq.ClientOption{
-			distiq.WithParallel(*parallel),
-			distiq.WithCacheDir(*cacheDir),
+		opts := []distiq.ClientOption{distiq.WithParallel(*parallel)}
+		if effStore != "" {
+			// The effective -store/-cache-dir spec opens here and closes
+			// after the sweep — for a batch: spec that final Close is what
+			// group-commits the last queued results.
+			store, err = distiq.OpenStore(effStore)
+			if err != nil {
+				return distiq.EngineStats{}, cliutil.BadInput(err)
+			}
+			opts = append(opts, distiq.WithStore(store))
 		}
 		if !*quiet {
 			reporter = distiq.NewConsoleReporter(stderr)
@@ -181,6 +207,11 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	res, err := stream.ResultSet()
 	if reporter != nil {
 		reporter.Finish()
+	}
+	if store != nil {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	stats := runStats(local, stream)
 	if err != nil {
@@ -226,19 +257,25 @@ func writeManifest(path string, stream *distiq.SweepStream) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// verifyManifest re-derives a manifest's Merkle root from the bytes a
-// -cache-dir store holds right now: every leaf's entry file is
-// re-hashed, so any post-sweep tampering — or a truncated or edited
-// manifest — fails loudly (exit 1).
-func verifyManifest(path, cacheDir string, stderr io.Writer) error {
-	if cacheDir == "" {
-		return cliutil.BadInput(fmt.Errorf("-verify-manifest requires -cache-dir (the store to verify against)"))
+// verifyManifest re-derives a manifest's Merkle root from the bytes the
+// selected store backend holds right now: every leaf's entry is
+// re-fetched and re-hashed, so any post-sweep tampering — or a truncated
+// or edited manifest — fails loudly (exit 1). storeSpec is the resolved
+// -store/-cache-dir spec, so verification works against any backend.
+func verifyManifest(path, storeSpec string, stderr io.Writer) error {
+	if storeSpec == "" {
+		return cliutil.BadInput(fmt.Errorf("-verify-manifest requires -store or -cache-dir (the store to verify against)"))
 	}
 	m, err := distiq.LoadManifest(path)
 	if err != nil {
 		return err
 	}
-	if err := m.VerifyStore(cacheDir); err != nil {
+	store, err := distiq.OpenStore(storeSpec)
+	if err != nil {
+		return cliutil.BadInput(err)
+	}
+	defer store.Close() //nolint:errcheck // read-only use
+	if err := m.VerifyIn(store); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "iqsweep: manifest %s verified: %d points, root %s\n", path, m.Points, m.Root)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"distiq"
+	"distiq/internal/blobstore"
 	"distiq/internal/cliutil"
 )
 
@@ -254,5 +256,68 @@ func TestRunErrorsAreBadInput(t *testing.T) {
 		if cliutil.ExitCode(err) != 2 {
 			t.Errorf("%s: exit code %d, want 2 (%v)", name, cliutil.ExitCode(err), err)
 		}
+	}
+}
+
+// TestRunStoreBackendsEndToEnd sweeps cold then warm through the
+// non-filesystem -store backends: the HTTP blob service holds the
+// results between invocations (zero simulations warm, identical bytes),
+// batch: wrapping changes nothing observable, and -verify-manifest
+// works against the remote store.
+func TestRunStoreBackendsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(blobstore.NewServer())
+	defer ts.Close()
+	manifestPath := filepath.Join(dir, "sweep-manifest.json")
+
+	// Cold pass writes through a batched tier ending in the blob server.
+	coldSpec := "batch:tier:mem," + ts.URL
+	var cold, errw bytes.Buffer
+	coldStats, err := run([]string{"-spec", specPath, "-store", coldSpec, "-quiet",
+		"-parallel", "2", "-manifest", manifestPath}, &cold, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.Simulated != 4 {
+		t.Fatalf("cold run simulated %d jobs, want 4", coldStats.Simulated)
+	}
+
+	// Warm pass reads from the blob server alone: everything the cold
+	// pass queued must have been flushed there by store Close.
+	var warm bytes.Buffer
+	warmStats, err := run([]string{"-spec", specPath, "-store", ts.URL, "-quiet",
+		"-parallel", "2"}, &warm, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Simulated != 0 {
+		t.Fatalf("warm rerun over the blob store simulated %d jobs, want 0", warmStats.Simulated)
+	}
+	if warmStats.DiskHits != 4 {
+		t.Fatalf("warm rerun store hits = %d, want 4", warmStats.DiskHits)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatalf("warm CSV differs from cold CSV:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+
+	// The manifest written during the cold pass verifies against the
+	// remote store's bytes.
+	errw.Reset()
+	if _, err := run([]string{"-verify-manifest", manifestPath, "-store", ts.URL},
+		&warm, &errw); err != nil {
+		t.Fatalf("verify against the blob store: %v", err)
+	}
+	if !strings.Contains(errw.String(), "verified") {
+		t.Fatalf("no verification report: %q", errw.String())
+	}
+
+	// -store and -cache-dir together are ambiguous: bad input, exit 2.
+	if _, err := run([]string{"-spec", specPath, "-store", "mem", "-cache-dir", dir,
+		"-quiet"}, &warm, &errw); err == nil || cliutil.ExitCode(err) != 2 {
+		t.Fatalf("-store with -cache-dir not rejected as bad input: %v", err)
 	}
 }

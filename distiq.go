@@ -186,11 +186,64 @@ var (
 	// WithCacheDir persists a local client's results to the shared
 	// distiq-v2 store.
 	WithCacheDir = client.WithCacheDir
+	// WithStore backs a local client with an explicit result-store
+	// backend (takes precedence over WithCacheDir; the caller closes it).
+	WithStore = client.WithStore
 	// WithProgress installs a per-resolved-job callback on a local
 	// client.
 	WithProgress = client.WithProgress
 	// WithHTTPClient overrides a remote client's http.Client.
 	WithHTTPClient = client.WithHTTPClient
+)
+
+// Result-store backends: the persistent layer under the engine is an
+// interface, with four interchangeable stdlib-only implementations —
+// the on-disk distiq-v2 store, an in-memory store, an HTTP blob store
+// (speaking a minimal S3-like GET/PUT/HEAD protocol, server included in
+// internal/blobstore), and a read-through tier over other stores — plus
+// a write-behind Batcher that group-commits puts over any of them.
+// Every backend stores the same canonical entry bytes, so manifests
+// verify byte-identically whichever backend holds the results.
+type (
+	// ResultStore is the persistent result-store interface consulted by
+	// the engine on miss and written through on completed simulations.
+	ResultStore = engine.ResultStore
+	// FSStore is the on-disk distiq-v2 content-addressed store.
+	FSStore = engine.Store
+	// MemStore is the in-memory ResultStore.
+	MemStore = engine.MemStore
+	// HTTPStore is the ResultStore over a remote HTTP blob server.
+	HTTPStore = engine.HTTPStore
+	// TieredStore reads through an ordered list of stores (fastest
+	// first) and writes through to all of them.
+	TieredStore = engine.Tiered
+	// StoreBatcher is the write-behind group-commit wrapper; Close
+	// flushes the final group.
+	StoreBatcher = engine.Batcher
+	// StoreBatcherConfig bounds a StoreBatcher's queue and flush
+	// thresholds.
+	StoreBatcherConfig = engine.BatcherConfig
+)
+
+// Result-store entry points.
+var (
+	// OpenStore builds a ResultStore from a -store spec string: fs:DIR,
+	// mem, http(s)://URL, tier:SPEC,SPEC,... or batch:SPEC.
+	OpenStore = engine.OpenStore
+	// ParseStoreSpec validates a -store spec's syntax and returns the
+	// fs: directories it names.
+	ParseStoreSpec = engine.ParseStoreSpec
+	// NewFSStore returns the on-disk store rooted at a directory.
+	NewFSStore = engine.NewStore
+	// NewMemStore returns an empty in-memory store.
+	NewMemStore = engine.NewMemStore
+	// NewHTTPStore returns a store speaking to an HTTP blob server.
+	NewHTTPStore = engine.NewHTTPStore
+	// NewTieredStore layers stores fastest-first into one read-through,
+	// write-through ResultStore.
+	NewTieredStore = engine.NewTiered
+	// NewStoreBatcher wraps a store with write-behind group commit.
+	NewStoreBatcher = engine.NewBatcher
 )
 
 // Sweep integrity: every successfully completed sweep carries a

@@ -1,0 +1,137 @@
+package blobstore
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, ts.Client())
+}
+
+func TestPutGetHeadRoundTrip(t *testing.T) {
+	srv, c := newPair(t)
+	data := []byte(`{"hello":"blob"}`)
+
+	if ok, err := c.Head("k1"); err != nil || ok {
+		t.Fatalf("Head on empty server = %v, %v", ok, err)
+	}
+	if _, ok, err := c.Get("k1"); err != nil || ok {
+		t.Fatalf("Get on empty server = %v, %v", ok, err)
+	}
+	if err := c.Put("k1", data); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Len() != 1 {
+		t.Fatalf("server holds %d blobs, want 1", srv.Len())
+	}
+	got, ok, err := c.Get("k1")
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = %v, %v", ok, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip altered the blob: %q", got)
+	}
+	if ok, err := c.Head("k1"); err != nil || !ok {
+		t.Fatalf("Head after Put = %v, %v", ok, err)
+	}
+	// Overwrite is last-writer-wins.
+	if err := c.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = c.Get("k1")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite not visible: %q", got)
+	}
+}
+
+func TestServerRejectsBadKeysAndMethods(t *testing.T) {
+	_, c := newPair(t)
+	base := c.Base()
+
+	for _, path := range []string{"/", "/a/b"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(base+"/k", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsOversizedBlob(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Put("big", make([]byte, maxBlobBytes+1)); err == nil {
+		t.Fatal("oversized Put succeeded")
+	}
+	if ok, _ := c.Head("big"); ok {
+		t.Fatal("oversized blob was stored")
+	}
+}
+
+func TestClientErrorTaxonomy(t *testing.T) {
+	// A server that always fails distinguishes transport-level errors
+	// from absent-key misses.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL+"/", ts.Client()) // trailing slash is tolerated
+
+	if _, ok, err := c.Get("k"); err == nil || ok {
+		t.Fatalf("Get against 500 = %v, %v; want error", ok, err)
+	}
+	if _, err := c.Head("k"); err == nil {
+		t.Fatal("Head against 500 returned nil error")
+	}
+	if err := c.Put("k", []byte("x")); err == nil {
+		t.Fatal("Put against 500 returned nil error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, c := newPair(t)
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i)
+				if err := c.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := c.Get(key)
+				if err != nil || !ok || string(got) != key {
+					t.Errorf("readback %s: %q %v %v", key, got, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if srv.Len() != writers*perWriter {
+		t.Fatalf("server holds %d blobs, want %d", srv.Len(), writers*perWriter)
+	}
+}

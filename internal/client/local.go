@@ -17,7 +17,7 @@ type Local struct {
 }
 
 // NewLocal returns a Local client. Recognized options: WithParallel,
-// WithCacheDir, WithProgress.
+// WithCacheDir, WithStore, WithProgress.
 func NewLocal(opts ...Option) *Local {
 	var cfg config
 	for _, o := range opts {
@@ -26,6 +26,7 @@ func NewLocal(opts ...Option) *Local {
 	return &Local{eng: engine.New(engine.Config{
 		Workers:  cfg.parallel,
 		CacheDir: cfg.cacheDir,
+		Store:    cfg.store,
 		Progress: cfg.progress,
 	})}
 }

@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"distiq/internal/blobstore"
 	"distiq/internal/client"
+	"distiq/internal/engine"
 	"distiq/internal/serve"
 )
 
@@ -92,5 +94,106 @@ func TestGoldenManifest(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("manifest drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenManifestAllBackends extends the golden gate across every
+// result-store backend: a cold sweep persisted through each backend must
+// produce the byte-identical pinned manifest (same Merkle root whatever
+// holds the entries), the manifest must verify against the backend's
+// stored bytes, and a warm rerun over the same backing state must
+// perform zero simulations while emitting identical result bytes.
+func TestGoldenManifestAllBackends(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "manifest.json"))
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/client -run TestGoldenManifest -update-golden): %v", err)
+	}
+
+	// Each backend yields a cold store over fresh backing state and a
+	// warm handle over the SAME backing state (flushing buffered writes
+	// first), mirroring the engine conformance factories.
+	backends := map[string]func(t *testing.T) (cold engine.ResultStore, warm func() engine.ResultStore){
+		"fs": func(t *testing.T) (engine.ResultStore, func() engine.ResultStore) {
+			dir := t.TempDir()
+			return engine.NewStore(dir), func() engine.ResultStore { return engine.NewStore(dir) }
+		},
+		"mem": func(t *testing.T) (engine.ResultStore, func() engine.ResultStore) {
+			s := engine.NewMemStore()
+			return s, func() engine.ResultStore { return s }
+		},
+		"http": func(t *testing.T) (engine.ResultStore, func() engine.ResultStore) {
+			ts := httptest.NewServer(blobstore.NewServer())
+			t.Cleanup(ts.Close)
+			return engine.NewHTTPStore(ts.URL, ts.Client()),
+				func() engine.ResultStore { return engine.NewHTTPStore(ts.URL, ts.Client()) }
+		},
+		"tiered": func(t *testing.T) (engine.ResultStore, func() engine.ResultStore) {
+			dir := t.TempDir()
+			ts := httptest.NewServer(blobstore.NewServer())
+			t.Cleanup(ts.Close)
+			mk := func() engine.ResultStore {
+				return engine.NewTiered(engine.NewMemStore(), engine.NewStore(dir),
+					engine.NewHTTPStore(ts.URL, ts.Client()))
+			}
+			return mk(), mk
+		},
+		"batched": func(t *testing.T) (engine.ResultStore, func() engine.ResultStore) {
+			dir := t.TempDir()
+			b := engine.NewBatcher(engine.NewStore(dir), engine.BatcherConfig{})
+			t.Cleanup(func() { b.Close() }) //nolint:errcheck // teardown
+			return b, func() engine.ResultStore { b.Flush(); return engine.NewStore(dir) }
+		},
+	}
+
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			cold, warm := mk(t)
+			cl := client.NewLocal(client.WithParallel(2), client.WithStore(cold))
+			st := cl.Sweep(context.Background(), testGrid(t))
+			coldRes, err := st.ResultSet()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := st.Manifest()
+			if m == nil {
+				t.Fatal("sweep has no manifest")
+			}
+			got, err := json.MarshalIndent(m, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if !bytes.Equal(got, want) {
+				t.Fatalf("manifest through %s backend drifted from golden:\n--- got ---\n%s", name, got)
+			}
+			// The manifest must verify against the bytes this backend
+			// actually holds (for the batcher, its read-your-writes view).
+			if err := m.VerifyIn(cold); err != nil {
+				t.Fatalf("manifest does not verify in the %s store: %v", name, err)
+			}
+
+			// Warm rerun over the same backing state: zero simulations,
+			// identical result bytes.
+			wst := warm()
+			wcl := client.NewLocal(client.WithParallel(2), client.WithStore(wst))
+			ws := wcl.Sweep(context.Background(), testGrid(t))
+			warmRes, err := ws.ResultSet()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats := wcl.Stats(); stats.Simulated != 0 {
+				t.Fatalf("warm rerun through %s simulated %d points, want 0 (stats %+v)", name, stats.Simulated, stats)
+			}
+			if coldRes.CSV() != warmRes.CSV() {
+				t.Fatalf("warm rerun through %s emitted different bytes", name)
+			}
+			wm := ws.Manifest()
+			if wm == nil {
+				t.Fatal("warm sweep has no manifest")
+			}
+			if wj, _ := json.MarshalIndent(wm, "", " "); !bytes.Equal(append(wj, '\n'), want) {
+				t.Fatalf("warm manifest through %s drifted from golden", name)
+			}
+		})
 	}
 }

@@ -15,6 +15,7 @@ type Option func(*config)
 type config struct {
 	parallel   int
 	cacheDir   string
+	store      engine.ResultStore
 	progress   func(engine.Progress)
 	httpClient *http.Client
 }
@@ -30,6 +31,16 @@ func WithParallel(n int) Option {
 // across processes — including a distiqd pointed at the same directory.
 func WithCacheDir(dir string) Option {
 	return func(c *config) { c.cacheDir = dir }
+}
+
+// WithStore backs a Local client's engine with an explicit result-store
+// backend — any engine.ResultStore: filesystem, in-memory, HTTP blob, a
+// read-through tier, or a write-behind Batcher over any of them
+// (engine.OpenStore builds one from a -store spec string). It takes
+// precedence over WithCacheDir. The store is borrowed: the caller closes
+// it when done — for a Batcher that is what flushes the final group.
+func WithStore(st engine.ResultStore) Option {
+	return func(c *config) { c.store = st }
 }
 
 // WithProgress installs an engine-wide progress callback on a Local

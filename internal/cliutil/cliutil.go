@@ -21,6 +21,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+
+	"distiq/internal/engine"
 )
 
 // badInput wraps an error to mark it as caused by invalid user input.
@@ -125,4 +127,36 @@ func ValidateEngineFlags(parallel int, cacheDir string) error {
 		return err
 	}
 	return ValidateCacheDir(cacheDir)
+}
+
+// ResolveStoreFlags folds the -store and -cache-dir flags into one
+// effective store spec: -cache-dir DIR is the legacy alias for the
+// filesystem backend (fs:DIR), so passing both flags is ambiguous and
+// rejected. The spec's syntax is validated (engine.ParseStoreSpec) and
+// every fs: directory it names runs through the same parent-directory
+// checks -cache-dir always had. An empty result means "no persistent
+// store".
+func ResolveStoreFlags(storeSpec, cacheDir string) (string, error) {
+	if storeSpec != "" && cacheDir != "" {
+		return "", BadInput(fmt.Errorf("-store and -cache-dir are mutually exclusive (-cache-dir %s is shorthand for -store fs:%s)", cacheDir, cacheDir))
+	}
+	if storeSpec == "" {
+		if cacheDir == "" {
+			return "", nil
+		}
+		if err := ValidateCacheDir(cacheDir); err != nil {
+			return "", err
+		}
+		return "fs:" + cacheDir, nil
+	}
+	dirs, err := engine.ParseStoreSpec(storeSpec)
+	if err != nil {
+		return "", BadInput(err)
+	}
+	for _, dir := range dirs {
+		if err := ValidateCacheDir(dir); err != nil {
+			return "", err
+		}
+	}
+	return storeSpec, nil
 }

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distiq/internal/obs"
+)
+
+// BatchEntry is one pre-encoded store entry in a group commit.
+type BatchEntry struct {
+	Fingerprint string
+	Data        []byte
+}
+
+// BatchWriter is optionally implemented by backends that can commit a
+// group of entries more cheaply than entry-at-a-time Puts (the FS store
+// amortizes one directory fsync across the group). Entries must be
+// committed independently: a failure on one entry must not tear or roll
+// back the others.
+type BatchWriter interface {
+	PutBatch(entries []BatchEntry) error
+}
+
+// BatcherConfig tunes a write-behind Batcher. Zero values select the
+// defaults.
+type BatcherConfig struct {
+	// MaxEntries flushes a group once this many entries are queued
+	// (default 64). Each group commit is at most this large.
+	MaxEntries int
+	// MaxBytes flushes once the queued entries reach this many encoded
+	// bytes (default 1 MiB).
+	MaxBytes int
+	// Interval bounds how long a queued entry waits before a flush even
+	// under low write rates (default 200ms).
+	Interval time.Duration
+	// MaxPending bounds the queue; a Put over the bound blocks until the
+	// flusher drains (backpressure, never unbounded memory; default
+	// 4096).
+	MaxPending int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 64
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 1 << 20
+	}
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4096
+	}
+	return c
+}
+
+// Batcher is a write-behind ResultStore wrapper that group-commits
+// results: Put encodes the entry, parks it on a bounded queue and
+// returns immediately; a background flusher commits queued entries in
+// groups — when the group size or byte thresholds are reached, when the
+// flush interval elapses, or on Close — amortizing fsyncs and HTTP
+// round-trips across the group.
+//
+// Reads are read-your-writes: Get, Has and Raw consult the pending
+// queue before the base store, so single-flight deduplication and
+// warm-rerun zero-simulation semantics are unchanged by batching, and a
+// manifest built while writes are still queued verifies against the
+// store once they land (the queued bytes are the exact canonical entry
+// bytes). Entries whose flush fails are dropped and counted; Close
+// drains the queue and reports any loss.
+type Batcher struct {
+	base ResultStore
+	cfg  BatcherConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when queue space frees or inflight hits 0
+	pending  map[string][]byte
+	queue    []BatchEntry
+	queuedB  int
+	inflight int
+	closed   bool
+	lastErr  error
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	enqueued atomic.Int64
+	flushed  atomic.Int64
+	flushes  atomic.Int64
+	lost     atomic.Int64
+}
+
+// NewBatcher wraps base with write-behind group commits. base must be
+// able to store raw canonical entry bytes (every engine backend can).
+func NewBatcher(base ResultStore, cfg BatcherConfig) *Batcher {
+	if _, ok := base.(RawPutter); !ok {
+		if _, ok := base.(BatchWriter); !ok {
+			panic(fmt.Sprintf("engine: NewBatcher: %T stores no raw entries", base))
+		}
+	}
+	b := &Batcher{
+		base:    base,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[string][]byte),
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	go b.run()
+	return b
+}
+
+// Base returns the wrapped store.
+func (b *Batcher) Base() ResultStore { return b.base }
+
+// Get serves fp from the pending queue first (read-your-writes), then
+// the base store.
+func (b *Batcher) Get(fp string, job Job) (Result, bool) {
+	b.mu.Lock()
+	data, ok := b.pending[fp]
+	b.mu.Unlock()
+	if ok {
+		return decodeEntry(data, job)
+	}
+	return b.base.Get(fp, job)
+}
+
+// Has reports whether fp is queued or stored.
+func (b *Batcher) Has(fp string) bool {
+	b.mu.Lock()
+	_, ok := b.pending[fp]
+	b.mu.Unlock()
+	return ok || b.base.Has(fp)
+}
+
+// Raw returns the queued or stored entry bytes for fp.
+func (b *Batcher) Raw(fp string) ([]byte, error) {
+	b.mu.Lock()
+	data, ok := b.pending[fp]
+	b.mu.Unlock()
+	if ok {
+		return append([]byte(nil), data...), nil
+	}
+	return b.base.Raw(fp)
+}
+
+// Put encodes the entry eagerly (so encoding failures surface to the
+// caller) and parks it for the next group commit. Put blocks only when
+// the queue is at MaxPending — backpressure, never unbounded memory —
+// and fails once the batcher is closed.
+func (b *Batcher) Put(fp string, job Job, r Result) error {
+	data, err := entryBytes(job, r)
+	if err != nil {
+		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	return b.PutRaw(fp, data)
+}
+
+// PutRaw parks pre-encoded entry bytes for the next group commit.
+func (b *Batcher) PutRaw(fp string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	for !b.closed && len(b.queue) >= b.cfg.MaxPending {
+		b.kickLocked()
+		b.cond.Wait()
+	}
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("engine: batcher: closed")
+	}
+	b.pending[fp] = cp
+	b.queue = append(b.queue, BatchEntry{Fingerprint: fp, Data: cp})
+	b.queuedB += len(cp)
+	full := len(b.queue) >= b.cfg.MaxEntries || b.queuedB >= b.cfg.MaxBytes
+	if full {
+		b.kickLocked()
+	}
+	b.mu.Unlock()
+	b.enqueued.Add(1)
+	return nil
+}
+
+// kickLocked wakes the flusher without blocking; the caller holds b.mu.
+func (b *Batcher) kickLocked() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the background flusher: it commits on kicks (thresholds), on
+// the interval tick, and once more on Close.
+func (b *Batcher) run() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.quit:
+			b.flushAll()
+			return
+		case <-b.kick:
+		case <-ticker.C:
+		}
+		b.flushAll()
+	}
+}
+
+// flushAll drains the queue in groups of at most MaxEntries, each group
+// committed as one batch.
+func (b *Batcher) flushAll() {
+	for b.flushGroup() {
+	}
+}
+
+// flushGroup takes one group off the queue and commits it; it reports
+// whether the queue may hold more. Queue space frees the moment the
+// group is taken (so blocked Puts resume during the commit), while the
+// pending read-view keeps serving the group's entries until they are
+// durable in the base store.
+func (b *Batcher) flushGroup() bool {
+	b.mu.Lock()
+	if len(b.queue) == 0 {
+		b.mu.Unlock()
+		return false
+	}
+	n := len(b.queue)
+	if n > b.cfg.MaxEntries {
+		n = b.cfg.MaxEntries
+	}
+	group := b.queue[:n:n]
+	b.queue = append([]BatchEntry(nil), b.queue[n:]...)
+	for _, e := range group {
+		b.queuedB -= len(e.Data)
+	}
+	more := len(b.queue) > 0
+	b.inflight += n
+	b.cond.Broadcast()
+	b.mu.Unlock()
+
+	committed, err := b.commit(group)
+	b.flushes.Add(1)
+	b.flushed.Add(int64(committed))
+	if lost := len(group) - committed; lost > 0 {
+		b.lost.Add(int64(lost))
+	}
+
+	b.mu.Lock()
+	if err != nil {
+		b.lastErr = err
+	}
+	// Drop the group from the read-view regardless of outcome: committed
+	// entries are now served by the base store, and lost entries must
+	// read as misses so a rerun recomputes them.
+	for _, e := range group {
+		delete(b.pending, e.Fingerprint)
+	}
+	b.inflight -= len(group)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return more
+}
+
+// commit writes one group to the base store and reports how many entries
+// actually landed. A BatchWriter base gets the whole group at once (one
+// amortized fsync); otherwise entries are written one by one over the
+// base's RawPutter (an HTTP base still amortizes, via one keep-alive
+// connection).
+func (b *Batcher) commit(group []BatchEntry) (int, error) {
+	if bw, ok := b.base.(BatchWriter); ok {
+		err := bw.PutBatch(group)
+		if err == nil {
+			return len(group), nil
+		}
+		// Count what actually landed; PutBatch commits independently.
+		committed := 0
+		for _, e := range group {
+			if b.base.Has(e.Fingerprint) {
+				committed++
+			}
+		}
+		return committed, err
+	}
+	rp := b.base.(RawPutter)
+	committed := 0
+	var firstErr error
+	for _, e := range group {
+		if err := rp.PutRaw(e.Fingerprint, e.Data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		committed++
+	}
+	return committed, firstErr
+}
+
+// Flush blocks until every entry queued before the call is committed to
+// the base store (or counted lost).
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	for len(b.queue) > 0 || b.inflight > 0 {
+		if len(b.queue) > 0 {
+			// Commit from this goroutine instead of waiting out the
+			// flusher's tick.
+			b.mu.Unlock()
+			b.flushAll()
+			b.mu.Lock()
+			continue
+		}
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Lost reports how many entries have been dropped by failed flushes.
+func (b *Batcher) Lost() int64 { return b.lost.Load() }
+
+// Close drains the queue, stops the flusher and closes the base store.
+// If any entry was lost to a failed flush — now or earlier — Close
+// reports it, so a caller that cares about durability finds out before
+// trusting a warm rerun.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	alreadyClosed := b.closed
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	if !alreadyClosed {
+		close(b.quit)
+	}
+	<-b.done
+	b.Flush()
+
+	var err error
+	if lost := b.lost.Load(); lost > 0 {
+		b.mu.Lock()
+		lastErr := b.lastErr
+		b.mu.Unlock()
+		err = fmt.Errorf("engine: batcher: %d results lost to failed flushes (last: %v)", lost, lastErr)
+	}
+	if cerr := b.base.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Instrument registers the batcher's counters on reg, plus the base
+// store's own instruments if it has any (a batched tier exposes both
+// families).
+func (b *Batcher) Instrument(reg *obs.Registry) {
+	count := func(a *atomic.Int64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	reg.CounterFunc("distiq_store_batch_queued_total",
+		"Result writes accepted onto the write-behind queue.", count(&b.enqueued))
+	reg.CounterFunc("distiq_store_batch_flushed_total",
+		"Queued results committed to the base store.", count(&b.flushed))
+	reg.CounterFunc("distiq_store_batch_flushes_total",
+		"Group commits performed.", count(&b.flushes))
+	reg.CounterFunc("distiq_store_batch_lost_total",
+		"Queued results dropped by failed flushes.", count(&b.lost))
+	reg.GaugeFunc("distiq_store_batch_pending",
+		"Results queued but not yet committed.",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.queue) + b.inflight)
+		})
+	if in, ok := b.base.(storeInstrumenter); ok {
+		in.Instrument(reg)
+	}
+}
+
+// compile-time interface checks.
+var (
+	_ ResultStore = (*Batcher)(nil)
+	_ RawPutter   = (*Batcher)(nil)
+)

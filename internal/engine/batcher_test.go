@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distiq/internal/core"
+)
+
+// flakyStore wraps an FS store and fails writes for a chosen set of
+// fingerprints — the injected mid-flush backend failure of the batcher
+// crash-consistency test. It implements BatchWriter so the group-commit
+// path (and its landed-entry accounting) is what gets exercised.
+type flakyStore struct {
+	inner *Store
+	mu    sync.Mutex
+	fail  map[string]bool
+}
+
+func newFlakyStore(dir string) *flakyStore {
+	return &flakyStore{inner: NewStore(dir), fail: make(map[string]bool)}
+}
+
+func (f *flakyStore) failOn(fp string) {
+	f.mu.Lock()
+	f.fail[fp] = true
+	f.mu.Unlock()
+}
+
+func (f *flakyStore) failing(fp string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fail[fp]
+}
+
+func (f *flakyStore) Get(fp string, job Job) (Result, bool) { return f.inner.Get(fp, job) }
+func (f *flakyStore) Has(fp string) bool                    { return f.inner.Has(fp) }
+func (f *flakyStore) Raw(fp string) ([]byte, error)         { return f.inner.Raw(fp) }
+func (f *flakyStore) Close() error                          { return f.inner.Close() }
+
+func (f *flakyStore) Put(fp string, job Job, r Result) error {
+	data, err := entryBytes(job, r)
+	if err != nil {
+		return err
+	}
+	return f.PutRaw(fp, data)
+}
+
+func (f *flakyStore) PutRaw(fp string, data []byte) error {
+	if f.failing(fp) {
+		return fmt.Errorf("injected write failure for %s", fp)
+	}
+	return f.inner.PutRaw(fp, data)
+}
+
+func (f *flakyStore) PutBatch(entries []BatchEntry) error {
+	var firstErr error
+	committed := 0
+	for _, e := range entries {
+		if err := f.PutRaw(e.Fingerprint, e.Data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		committed++
+	}
+	if firstErr != nil {
+		return fmt.Errorf("flaky batch: %d/%d committed: %w", committed, len(entries), firstErr)
+	}
+	return nil
+}
+
+// batchJobs returns n distinct content-addressable jobs.
+func batchJobs(n int) []Job {
+	benches := []string{"swim", "gzip", "gcc", "mesa", "art", "mcf", "lucas", "vpr"}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = quickJob(benches[i%len(benches)], core.Baseline64())
+		jobs[i].Opt.Instructions += uint64(i/len(benches)) * 1000
+	}
+	return jobs
+}
+
+// TestBatcherReadYourWrites: queued entries must serve Get/Has/Raw
+// before any flush happens, so single-flight dedup and warm-rerun checks
+// see them immediately.
+func TestBatcherReadYourWrites(t *testing.T) {
+	b := NewBatcher(NewMemStore(), BatcherConfig{Interval: time.Hour, MaxEntries: 1 << 20})
+	defer b.Close() //nolint:errcheck // teardown
+	job := quickJob("swim", core.MBDistr())
+	fp, _ := job.Fingerprint()
+	res := confResult(job)
+	if err := b.Put(fp, job, res); err != nil {
+		t.Fatal(err)
+	}
+	if b.Base().Has(fp) {
+		t.Fatal("entry reached the base store before any flush trigger")
+	}
+	if _, ok := b.Get(fp, job); !ok {
+		t.Fatal("queued entry not readable through Get")
+	}
+	if !b.Has(fp) {
+		t.Fatal("queued entry not visible through Has")
+	}
+	want, _ := entryBytes(job, res)
+	if raw, err := b.Raw(fp); err != nil || string(raw) != string(want) {
+		t.Fatalf("queued entry raw bytes wrong (err=%v)", err)
+	}
+	b.Flush()
+	if !b.Base().Has(fp) {
+		t.Fatal("Flush did not commit the queued entry")
+	}
+}
+
+// TestBatcherFlushOnThresholds: reaching MaxEntries triggers a group
+// commit without waiting out the interval.
+func TestBatcherFlushOnThresholds(t *testing.T) {
+	mem := NewMemStore()
+	b := NewBatcher(mem, BatcherConfig{MaxEntries: 4, Interval: time.Hour})
+	defer b.Close() //nolint:errcheck // teardown
+	for i := 0; i < 4; i++ {
+		if err := b.PutRaw(fmt.Sprintf("fp-%d", i), []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for mem.Len() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("threshold flush never happened: %d/4 committed", mem.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatcherCloseDrains: Close must commit everything still queued, and
+// the backing state must be fully readable by a fresh handle afterwards.
+func TestBatcherCloseDrains(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBatcher(NewStore(dir), BatcherConfig{Interval: time.Hour, MaxEntries: 1 << 20})
+	jobs := batchJobs(10)
+	for _, j := range jobs {
+		fp, _ := j.Fingerprint()
+		if err := b.Put(fp, j, confResult(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := NewStore(dir)
+	for _, j := range jobs {
+		fp, _ := j.Fingerprint()
+		if _, ok := reopened.Get(fp, j); !ok {
+			t.Fatalf("entry %s missing after Close", fp)
+		}
+	}
+	if err := b.PutRaw("late", []byte("{}")); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+// TestBatcherCrashConsistency is the injected-failure gate: a backend
+// that fails mid-flush must lose exactly the failed entries — no torn
+// files, committed neighbors intact — Close must report the loss, and a
+// warm rerun over the surviving store must recompute only the lost
+// entries.
+func TestBatcherCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	fl := newFlakyStore(dir)
+	b := NewBatcher(fl, BatcherConfig{Interval: time.Hour, MaxEntries: 1 << 20})
+
+	jobs := batchJobs(6)
+	fps := make([]string, len(jobs))
+	for i, j := range jobs {
+		fps[i], _ = j.Fingerprint()
+	}
+	// Two of the six entries will fail to persist.
+	fl.failOn(fps[1])
+	fl.failOn(fps[4])
+
+	// Cold run through an engine backed by the batcher: every job
+	// simulates once and parks its result on the queue.
+	var cold sync.Map
+	e1 := New(Config{Workers: 4, Store: b, Simulate: countingSim(&cold, 0)})
+	for _, j := range jobs {
+		if _, err := e1.Result(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := totalCalls(&cold); n != int64(len(jobs)) {
+		t.Fatalf("cold run simulated %d, want %d", n, len(jobs))
+	}
+
+	b.Flush()
+	if lost := b.Lost(); lost != 2 {
+		t.Fatalf("Lost() = %d, want 2", lost)
+	}
+	err := b.Close()
+	if err == nil {
+		t.Fatal("Close after lost flushes returned nil")
+	}
+	if !strings.Contains(err.Error(), "2 results lost") {
+		t.Fatalf("Close error does not report the loss: %v", err)
+	}
+
+	// No torn entries: every file the store holds decodes as a complete
+	// current-version entry, and no temp files linger.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range files {
+		if !strings.HasSuffix(de.Name(), ".json") {
+			t.Fatalf("unexpected file in store: %s", de.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ent entry
+		if err := json.Unmarshal(data, &ent); err != nil {
+			t.Fatalf("torn entry %s: %v", de.Name(), err)
+		}
+		if ent.Version != storeVersion {
+			t.Fatalf("entry %s has version %d", de.Name(), ent.Version)
+		}
+	}
+	if len(files) != 4 {
+		t.Fatalf("store holds %d entries, want 4", len(files))
+	}
+
+	// Warm rerun over the surviving store completes exactly the
+	// remainder: the two lost entries simulate again, the four committed
+	// ones are disk hits.
+	var warm sync.Map
+	e2 := New(Config{Workers: 4, Store: NewStore(dir), Simulate: countingSim(&warm, 0)})
+	for _, j := range jobs {
+		if _, err := e2.Result(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := totalCalls(&warm); n != 2 {
+		t.Fatalf("warm rerun simulated %d, want 2 (the lost entries)", n)
+	}
+	if st := e2.Stats(); st.DiskHits != 4 {
+		t.Fatalf("warm rerun disk hits = %d, want 4 (stats %+v)", st.DiskHits, st)
+	}
+}
+
+// TestBatcherConcurrentCloseRace hammers Put from many goroutines while
+// Close races them — the -race gate for the queue's lifecycle. Whatever
+// was accepted before Close must be durable; Puts losing the race must
+// fail cleanly.
+func TestBatcherConcurrentCloseRace(t *testing.T) {
+	mem := NewMemStore()
+	b := NewBatcher(mem, BatcherConfig{MaxEntries: 4, MaxPending: 8, Interval: time.Millisecond})
+	var accepted sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fp := fmt.Sprintf("fp-%02d-%03d", g, i)
+				if err := b.PutRaw(fp, []byte("{}")); err != nil {
+					return // closed under us — expected
+				}
+				accepted.Store(fp, true)
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Close is idempotent.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	accepted.Range(func(k, _ any) bool {
+		if !mem.Has(k.(string)) {
+			t.Errorf("accepted entry %s not durable after Close", k)
+			return false
+		}
+		return true
+	})
+}
+
+// TestBatcherBackpressure: a queue bounded well below the write count
+// must block producers rather than grow, and still land every entry.
+func TestBatcherBackpressure(t *testing.T) {
+	mem := NewMemStore()
+	b := NewBatcher(mem, BatcherConfig{MaxEntries: 2, MaxPending: 4, Interval: time.Hour})
+	const writes = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < writes/4; i++ {
+				if err := b.PutRaw(fmt.Sprintf("fp-%d-%d", g, i), []byte("{}")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != writes {
+		t.Fatalf("committed %d entries, want %d", mem.Len(), writes)
+	}
+}
+
+// TestEngineWarmRerunThroughBatchedStore: the tentpole end-to-end
+// property — an engine writing through batch:fs, closed, then a second
+// engine over the same directory performs zero simulations.
+func TestEngineWarmRerunThroughBatchedStore(t *testing.T) {
+	dir := t.TempDir()
+	jobs := batchJobs(5)
+
+	var cold sync.Map
+	b := NewBatcher(NewStore(dir), BatcherConfig{})
+	e1 := New(Config{Workers: 4, Store: b, Simulate: countingSim(&cold, 0)})
+	for _, j := range jobs {
+		if _, err := e1.Result(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var warm sync.Map
+	b2 := NewBatcher(NewStore(dir), BatcherConfig{})
+	e2 := New(Config{Workers: 4, Store: b2, Simulate: countingSim(&warm, 0)})
+	for _, j := range jobs {
+		if _, err := e2.Result(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := totalCalls(&warm); n != 0 {
+		t.Fatalf("warm rerun simulated %d jobs, want 0", n)
+	}
+	if st := e2.Stats(); st.DiskHits != int64(len(jobs)) {
+		t.Fatalf("warm rerun disk hits = %d, want %d", st.DiskHits, len(jobs))
+	}
+}

@@ -18,8 +18,16 @@ type Config struct {
 	Workers int
 	// CacheDir, when non-empty, backs the in-memory cache with a
 	// persistent on-disk store at that path (created if missing), so
-	// results are reused across processes.
+	// results are reused across processes. It is the convenience form of
+	// Store for the common filesystem backend.
 	CacheDir string
+	// Store, when non-nil, is the persistent result backend — any
+	// ResultStore (filesystem, memory, HTTP blob, a read-through tier, a
+	// write-behind Batcher over any of them). It takes precedence over
+	// CacheDir. The store is borrowed, not owned: the caller closes it
+	// once the engine is done (for a Batcher that flushes the final
+	// group).
+	Store ResultStore
 	// Simulate overrides the simulation function (tests inject stubs);
 	// nil selects Simulate.
 	Simulate func(Job) (Result, error)
@@ -84,7 +92,7 @@ type call struct {
 type Engine struct {
 	sim      func(Job) (Result, error)
 	progress func(Progress)
-	store    *Store
+	store    ResultStore
 	sem      chan struct{}
 
 	mu       sync.Mutex
@@ -129,7 +137,9 @@ func New(cfg Config) *Engine {
 		memory:   make(map[string]Result),
 		inflight: make(map[string]*call),
 	}
-	if cfg.CacheDir != "" {
+	if cfg.Store != nil {
+		e.store = cfg.Store
+	} else if cfg.CacheDir != "" {
 		e.store = NewStore(cfg.CacheDir)
 	}
 	if cfg.Obs != nil {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"fmt"
+	"net/http"
+
+	"distiq/internal/blobstore"
+)
+
+// HTTPStore is the remote ResultStore: entries live as blobs named
+// <fingerprint>.json on a blobstore service (the minimal S3-like GET/
+// PUT/HEAD protocol of internal/blobstore). Blob names match the FS
+// store's file names, so a bucket is a drop-in replacement for a shared
+// cache directory. Transport failures follow the store contract: a
+// failed read is a miss (the engine re-simulates), a failed write is a
+// DiskError (best-effort persistence, never a job failure).
+type HTTPStore struct {
+	c *blobstore.Client
+}
+
+// NewHTTPStore returns a store speaking to the blob service at base
+// (e.g. "http://cache.internal:9000/distiq"). A nil hc selects
+// http.DefaultClient.
+func NewHTTPStore(base string, hc *http.Client) *HTTPStore {
+	return &HTTPStore{c: blobstore.NewClient(base, hc)}
+}
+
+// Base returns the remote service's base URL.
+func (s *HTTPStore) Base() string { return s.c.Base() }
+
+func key(fp string) string { return fp + ".json" }
+
+// Get fetches and validates the entry for fp; absence, transport
+// failure, or an identity mismatch is a miss.
+func (s *HTTPStore) Get(fp string, job Job) (Result, bool) {
+	data, ok, err := s.c.Get(key(fp))
+	if err != nil || !ok {
+		return Result{}, false
+	}
+	return decodeEntry(data, job)
+}
+
+// Put stores the canonical entry bytes for (job, r) under fp.
+func (s *HTTPStore) Put(fp string, job Job, r Result) error {
+	data, err := entryBytes(job, r)
+	if err != nil {
+		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	return s.PutRaw(fp, data)
+}
+
+// PutRaw stores pre-encoded entry bytes under fp.
+func (s *HTTPStore) PutRaw(fp string, data []byte) error {
+	return s.c.Put(key(fp), data)
+}
+
+// Has probes the remote service for fp; transport failures read as
+// absent.
+func (s *HTTPStore) Has(fp string) bool {
+	ok, err := s.c.Head(key(fp))
+	return err == nil && ok
+}
+
+// Raw returns the exact stored entry bytes for fp.
+func (s *HTTPStore) Raw(fp string) ([]byte, error) {
+	data, ok, err := s.c.Get(key(fp))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("engine: httpstore: no entry for %s", fp)
+	}
+	return data, nil
+}
+
+// Close is a no-op: every Put is already committed on return.
+func (s *HTTPStore) Close() error { return nil }
+
+// compile-time interface checks.
+var (
+	_ ResultStore = (*HTTPStore)(nil)
+	_ RawPutter   = (*HTTPStore)(nil)
+)

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 )
 
 // Sweep manifests are the integrity artifact of a completed sweep: a
@@ -183,18 +182,26 @@ func (m *Manifest) Check() error {
 // and the leaves must fold to the recorded root. The first discrepancy
 // is reported with its grid index and fingerprint.
 func (m *Manifest) VerifyStore(dir string) error {
+	return m.VerifyIn(NewStore(dir))
+}
+
+// VerifyIn is VerifyStore generalized over any result-store backend: the
+// enumeration hook (ResultStore.Raw) returns each leaf's exact stored
+// entry bytes, which must hash back to the recorded leaf hash. A
+// manifest therefore verifies identically against a cache directory, an
+// in-memory store, a remote blob service or any tier of them.
+func (m *Manifest) VerifyIn(store ResultStore) error {
 	if err := m.Check(); err != nil {
 		return err
 	}
 	for _, leaf := range m.Leaves {
-		path := filepath.Join(dir, leaf.Fingerprint+".json")
-		data, err := os.ReadFile(path)
+		data, err := store.Raw(leaf.Fingerprint)
 		if err != nil {
 			return fmt.Errorf("engine: manifest point %d (%s/%s): %w", leaf.Index, leaf.Benchmark, leaf.Config, err)
 		}
 		if got := hashLeafBytes(data); got != leaf.Hash {
 			return fmt.Errorf("engine: manifest point %d (%s/%s): store entry %s does not match manifest: hash %s, want %s",
-				leaf.Index, leaf.Benchmark, leaf.Config, filepath.Base(path), got, leaf.Hash)
+				leaf.Index, leaf.Benchmark, leaf.Config, leaf.Fingerprint+".json", got, leaf.Hash)
 		}
 	}
 	return nil

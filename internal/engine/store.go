@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
 
-// Store is the persistent result cache: one JSON file per result under a
+// Store is the filesystem ResultStore: one JSON file per result under a
 // flat directory, named by the job's content-address fingerprint, so any
 // process computing the same job produces (and finds) the same file.
 //
@@ -18,12 +20,48 @@ type Store struct {
 	dir string
 }
 
+// tmpStaleAfter is how old an orphaned temp file must be before the
+// startup sweep removes it. A temp file is normally renamed away within
+// milliseconds of creation; one this old was abandoned by a crashed
+// writer. The margin keeps the sweep safe for concurrent processes
+// sharing a directory: a live writer's temp file is never this old.
+const tmpStaleAfter = time.Hour
+
 // NewStore returns a store rooted at dir. The directory is created on
-// first Put.
-func NewStore(dir string) *Store { return &Store{dir: dir} }
+// first Put. If the directory already exists, stale temp files orphaned
+// by crashed writers are swept away (best-effort) so a crash can never
+// leak disk space indefinitely.
+func NewStore(dir string) *Store {
+	s := &Store{dir: dir}
+	s.sweepStaleTemps()
+	return s
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// sweepStaleTemps removes temp files older than tmpStaleAfter. Put's
+// CreateTemp pattern is "." + fp + ".tmp*"; a crash between CreateTemp
+// and Rename orphans such a file. Recent temps are left alone — they may
+// belong to a live writer in another process.
+func (s *Store) sweepStaleTemps() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tmpStaleAfter)
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil || fi.ModTime().After(cutoff) {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
 
 // entry is the on-disk format: a version tag plus the job identity for
 // auditability (the filename alone is an opaque hash) and validation.
@@ -49,18 +87,22 @@ func (s *Store) Get(fp string, job Job) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	var ent entry
-	if err := json.Unmarshal(data, &ent); err != nil {
-		return Result{}, false
-	}
-	if ent.Version != storeVersion ||
-		ent.Benchmark != job.Bench || ent.Config != job.Config.Name ||
-		ent.Machine != job.machineCanon() ||
-		ent.Warmup != job.Opt.Warmup || ent.Instructions != job.Opt.Instructions {
-		return Result{}, false
-	}
-	return ent.Result, true
+	return decodeEntry(data, job)
 }
+
+// Has reports whether an entry file exists for fp.
+func (s *Store) Has(fp string) bool {
+	_, err := os.Stat(s.path(fp))
+	return err == nil
+}
+
+// Raw returns the exact stored entry bytes for fp.
+func (s *Store) Raw(fp string) ([]byte, error) {
+	return os.ReadFile(s.path(fp))
+}
+
+// Close is a no-op: every Put is already durable on return.
+func (s *Store) Close() error { return nil }
 
 // entryBytes renders the canonical on-disk encoding of a job's result —
 // the exact bytes Put writes. Manifest leaf hashing shares it, so a
@@ -80,12 +122,17 @@ func entryBytes(job Job, r Result) ([]byte, error) {
 
 // Put persists a result under fp atomically (temp file + rename).
 func (s *Store) Put(fp string, job Job, r Result) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("engine: create store: %w", err)
-	}
 	data, err := entryBytes(job, r)
 	if err != nil {
 		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	return s.PutRaw(fp, data)
+}
+
+// PutRaw persists pre-encoded entry bytes under fp atomically.
+func (s *Store) PutRaw(fp string, data []byte) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("engine: create store: %w", err)
 	}
 	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp*")
 	if err != nil {
@@ -107,3 +154,41 @@ func (s *Store) Put(fp string, job Job, r Result) error {
 	}
 	return nil
 }
+
+// PutBatch group-commits a set of entries: every entry is written and
+// atomically renamed into place, then the directory is synced once, so a
+// flush of N results costs one directory fsync instead of N. Entries are
+// committed independently — a failure on one does not roll back the
+// others — and the error reports how many landed.
+func (s *Store) PutBatch(entries []BatchEntry) error {
+	var firstErr error
+	committed := 0
+	for _, be := range entries {
+		if err := s.PutRaw(be.Fingerprint, be.Data); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		committed++
+	}
+	// One directory sync amortized over the whole group makes the batch's
+	// renames durable together (best-effort: not every platform supports
+	// directory fsync).
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory durability, not correctness
+		d.Close()
+	}
+	if firstErr != nil {
+		return fmt.Errorf("engine: store batch: %d/%d entries committed: %w",
+			committed, len(entries), firstErr)
+	}
+	return nil
+}
+
+// compile-time interface checks.
+var (
+	_ ResultStore = (*Store)(nil)
+	_ RawPutter   = (*Store)(nil)
+	_ BatchWriter = (*Store)(nil)
+)

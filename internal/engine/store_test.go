@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"distiq/internal/core"
 	"distiq/internal/power"
@@ -177,5 +178,46 @@ func TestEngineCustomConfigSkipsStore(t *testing.T) {
 	}
 	if n := totalCalls(&calls); n != 1 {
 		t.Fatalf("simulated %d, want 1", n)
+	}
+}
+
+// TestStoreSweepsStaleTemps is the temp-file leak regression: a crash
+// between CreateTemp and Rename used to orphan ".FP.tmp*" files forever.
+// Opening a store must sweep temps older than the staleness cutoff while
+// leaving fresh ones (a live writer in another process) alone.
+func TestStoreSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".deadbeef.tmp123")
+	fresh := filepath.Join(dir, ".cafebabe.tmp456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpStaleAfter)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A real entry must never be swept, whatever its age.
+	s := NewStore(dir)
+	job := quickJob("swim", core.Baseline64())
+	fp, _ := job.Fingerprint()
+	if err := s.Put(fp, job, Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(s.path(fp), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	NewStore(dir) // the sweep under test
+
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived the sweep (err=%v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp was swept: %v", err)
+	}
+	if _, err := os.Stat(s.path(fp)); err != nil {
+		t.Fatalf("real entry was swept: %v", err)
 	}
 }

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Store specs are the one-line backend selection syntax shared by every
+// front end's -store flag and by distiqd:
+//
+//	fs:DIR                 filesystem store rooted at DIR
+//	mem                    in-memory store (process-local)
+//	http://HOST[/PREFIX]   HTTP blob store (minimal S3-like GET/PUT/HEAD)
+//	https://HOST[/PREFIX]  same, over TLS
+//	tier:SPEC,SPEC,...     read-through tiers, fastest first
+//	batch:SPEC             write-behind group-commit batching over SPEC
+//
+// batch: may only be the outermost wrapper and tier: does not nest; the
+// legacy -cache-dir DIR flag is an alias for fs:DIR.
+
+// ParseStoreSpec validates a store spec's syntax and returns the fs
+// directories it names (so front ends can run their directory checks
+// before anything opens). An empty spec is valid and names no store.
+func ParseStoreSpec(spec string) (fsDirs []string, err error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rest := strings.TrimPrefix(spec, "batch:")
+	if rest == "" {
+		return nil, fmt.Errorf("store spec %q: batch: needs a backend to wrap", spec)
+	}
+	for _, part := range splitTiers(rest) {
+		dirs, err := parseLeaf(part)
+		if err != nil {
+			return nil, err
+		}
+		fsDirs = append(fsDirs, dirs...)
+	}
+	return fsDirs, nil
+}
+
+// splitTiers returns a tier: spec's comma-separated levels, or the spec
+// itself when it is a single backend.
+func splitTiers(spec string) []string {
+	levels, ok := strings.CutPrefix(spec, "tier:")
+	if !ok {
+		return []string{spec}
+	}
+	return strings.Split(levels, ",")
+}
+
+// parseLeaf validates one non-composite backend spec.
+func parseLeaf(spec string) (fsDirs []string, err error) {
+	switch {
+	case spec == "mem":
+		return nil, nil
+	case strings.HasPrefix(spec, "fs:"):
+		dir := strings.TrimPrefix(spec, "fs:")
+		if dir == "" {
+			return nil, fmt.Errorf("store spec %q: fs: needs a directory", spec)
+		}
+		return []string{dir}, nil
+	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
+		if strings.TrimSuffix(spec[strings.Index(spec, "://")+3:], "/") == "" {
+			return nil, fmt.Errorf("store spec %q: URL needs a host", spec)
+		}
+		return nil, nil
+	case strings.HasPrefix(spec, "tier:"):
+		return nil, fmt.Errorf("store spec %q: tier: does not nest", spec)
+	case strings.HasPrefix(spec, "batch:"):
+		return nil, fmt.Errorf("store spec %q: batch: must be the outermost wrapper", spec)
+	}
+	return nil, fmt.Errorf("unknown store spec %q (want fs:DIR, mem, http(s)://URL, tier:..., batch:...)", spec)
+}
+
+// OpenStore builds the ResultStore a spec names. An empty spec returns
+// nil (no persistent store). The caller owns the returned store and must
+// Close it — for a batch: spec that is what flushes the final group.
+func OpenStore(spec string) (ResultStore, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if _, err := ParseStoreSpec(spec); err != nil {
+		return nil, err
+	}
+	rest, batched := strings.CutPrefix(spec, "batch:")
+	parts := splitTiers(rest)
+	levels := make([]ResultStore, len(parts))
+	for i, part := range parts {
+		levels[i] = openLeaf(part)
+	}
+	store := levels[0]
+	if len(levels) > 1 {
+		store = NewTiered(levels...)
+	}
+	if batched {
+		store = NewBatcher(store, BatcherConfig{})
+	}
+	return store, nil
+}
+
+// openLeaf builds one already-validated non-composite backend.
+func openLeaf(spec string) ResultStore {
+	switch {
+	case spec == "mem":
+		return NewMemStore()
+	case strings.HasPrefix(spec, "fs:"):
+		return NewStore(strings.TrimPrefix(spec, "fs:"))
+	}
+	return NewHTTPStore(spec, nil)
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"distiq/internal/obs"
+)
+
+// Tiered is the read-through tier combinator: levels ordered fastest to
+// most authoritative (canonically memory → disk → remote). Get consults
+// each level in order and, on a hit, backfills the entry byte-exactly
+// into every faster level, so hot entries migrate toward memory; Put
+// writes through to every level. The distiq-v2 fingerprint is the common
+// key, so any ResultStore can serve at any level.
+type Tiered struct {
+	levels []ResultStore
+
+	// hits[i] counts Gets satisfied at level i; misses counts Gets no
+	// level satisfied. Exposed on /metrics via Instrument.
+	hits   []atomic.Int64
+	misses atomic.Int64
+}
+
+// NewTiered combines levels (fastest first) into one store. At least one
+// level is required.
+func NewTiered(levels ...ResultStore) *Tiered {
+	if len(levels) == 0 {
+		panic("engine: NewTiered needs at least one level")
+	}
+	return &Tiered{levels: levels, hits: make([]atomic.Int64, len(levels))}
+}
+
+// Levels returns the tier's levels, fastest first.
+func (t *Tiered) Levels() []ResultStore { return t.levels }
+
+// Get reads through the tiers: the first level holding a valid entry for
+// the job serves it, and the entry's exact bytes are backfilled into
+// every faster level (best-effort) so the next Get stops sooner.
+func (t *Tiered) Get(fp string, job Job) (Result, bool) {
+	for i, lvl := range t.levels {
+		raw, err := lvl.Raw(fp)
+		if err != nil {
+			continue
+		}
+		r, ok := decodeEntry(raw, job)
+		if !ok {
+			continue
+		}
+		t.hits[i].Add(1)
+		for j := 0; j < i; j++ {
+			if rp, ok := t.levels[j].(RawPutter); ok {
+				rp.PutRaw(fp, raw) //nolint:errcheck // backfill is advisory
+			}
+		}
+		return r, true
+	}
+	t.misses.Add(1)
+	return Result{}, false
+}
+
+// Put writes through to every level. The first failure is reported (all
+// levels are still attempted, so one degraded tier does not stop the
+// others from persisting).
+func (t *Tiered) Put(fp string, job Job, r Result) error {
+	data, err := entryBytes(job, r)
+	if err != nil {
+		return fmt.Errorf("engine: encode result: %w", err)
+	}
+	return t.PutRaw(fp, data)
+}
+
+// PutRaw writes pre-encoded entry bytes through to every level.
+func (t *Tiered) PutRaw(fp string, data []byte) error {
+	var firstErr error
+	for _, lvl := range t.levels {
+		var err error
+		if rp, ok := lvl.(RawPutter); ok {
+			err = rp.PutRaw(fp, data)
+		} else {
+			err = fmt.Errorf("engine: tier level %T cannot store raw entries", lvl)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Has reports whether any level holds an entry for fp.
+func (t *Tiered) Has(fp string) bool {
+	for _, lvl := range t.levels {
+		if lvl.Has(fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// Raw returns the entry bytes from the first level holding fp.
+func (t *Tiered) Raw(fp string) ([]byte, error) {
+	var firstErr error
+	for _, lvl := range t.levels {
+		data, err := lvl.Raw(fp)
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// Close closes every level; the first failure is reported.
+func (t *Tiered) Close() error {
+	var firstErr error
+	for _, lvl := range t.levels {
+		if err := lvl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Instrument registers the tier's hit/miss counters on reg: one
+// distiq_store_tier_hits_total series per level (labeled by tier index
+// and backend kind) plus distiq_store_tier_misses_total.
+func (t *Tiered) Instrument(reg *obs.Registry) {
+	for i := range t.levels {
+		i := i
+		reg.CounterFunc("distiq_store_tier_hits_total",
+			"Store reads satisfied at this tier level (0 = fastest).",
+			func() float64 { return float64(t.hits[i].Load()) },
+			obs.L("tier", strconv.Itoa(i)), obs.L("kind", storeKind(t.levels[i])))
+	}
+	reg.CounterFunc("distiq_store_tier_misses_total",
+		"Store reads no tier level satisfied.",
+		func() float64 { return float64(t.misses.Load()) })
+}
+
+// storeKind names a backend for metric labels and log lines.
+func storeKind(s ResultStore) string {
+	switch s.(type) {
+	case *Store:
+		return "fs"
+	case *MemStore:
+		return "mem"
+	case *HTTPStore:
+		return "http"
+	case *Tiered:
+		return "tier"
+	case *Batcher:
+		return "batch"
+	}
+	return "custom"
+}
+
+// compile-time interface checks.
+var (
+	_ ResultStore = (*Tiered)(nil)
+	_ RawPutter   = (*Tiered)(nil)
+)

@@ -162,7 +162,12 @@ func TestMetricsNamesMatchDocs(t *testing.T) {
 		t.Fatalf("only %d metric names found in docs/ARCHITECTURE.md — is the table gone?", len(docNames))
 	}
 
-	srv := New(Config{Parallel: 1})
+	// A batched tier over memory and disk registers the store metric
+	// families too, so the scrape covers the whole documented inventory.
+	store := engine.NewBatcher(
+		engine.NewTiered(engine.NewMemStore(), engine.NewStore(t.TempDir())),
+		engine.BatcherConfig{})
+	srv := New(Config{Parallel: 1, Store: store})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	st := submit(t, ts, testSpec)
@@ -173,6 +178,9 @@ func TestMetricsNamesMatchDocs(t *testing.T) {
 		if !strings.Contains(body, "# TYPE "+n+" ") {
 			t.Errorf("documented metric %s missing from /metrics", n)
 		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -77,6 +77,12 @@ type Config struct {
 	// distiq-v2 content-addressed store, shared with the iq* CLIs and
 	// other distiqd processes.
 	CacheDir string
+	// Store, when non-nil, is the engine's persistent result backend —
+	// any engine.ResultStore (engine.OpenStore builds one from a -store
+	// spec: filesystem, memory, HTTP blob, read-through tiers, write-
+	// behind batching). It takes precedence over CacheDir. The Server
+	// adopts the store: Close flushes and closes it.
+	Store engine.ResultStore
 	// MaxQueued bounds sweeps admitted but not yet finished; further
 	// submissions answer 429. Zero selects DefaultMaxQueued.
 	MaxQueued int
@@ -183,6 +189,7 @@ func (sw *sweep) statusLocked() Status {
 // results and introspection. It implements http.Handler.
 type Server struct {
 	eng        *engine.Engine
+	store      engine.ResultStore
 	maxQueued  int
 	maxHistory int
 	log        *slog.Logger
@@ -224,9 +231,11 @@ func New(cfg Config) *Server {
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
+		store: cfg.Store,
 		eng: engine.New(engine.Config{
 			Workers:  cfg.Parallel,
 			CacheDir: cfg.CacheDir,
+			Store:    cfg.Store,
 			Simulate: cfg.Simulate,
 			Obs:      reg,
 		}),
@@ -807,6 +816,17 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		return fmt.Errorf("serve: drain interrupted with %d sweeps in flight: %w", n, ctx.Err())
 	}
+}
+
+// Close flushes and closes the result store adopted through
+// Config.Store (for a write-behind Batcher this commits the final
+// group, so warm reruns of other processes see every result). Call it
+// after Drain, once no sweep can write anymore.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // SweepIDs returns every known sweep id in admission order (a stable,
