@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distiq/internal/blobstore"
+	"distiq/internal/engine"
+	"distiq/internal/serve"
+)
+
+// TestFleetServerFlag is the CLI acceptance gate for fleet-sharded
+// sweeps: `iqsweep -server URL1,URL2,URL3` shards the grid across three
+// in-process distiqd workers rendezvousing on one shared HTTP blob
+// store, and the output bytes must be identical to a local run. A
+// second (warm) fleet run over fresh workers and the same blob store
+// must simulate nothing.
+func TestFleetServerFlag(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local reference bytes.
+	var local, errw bytes.Buffer
+	if _, err := run([]string{"-spec", specPath, "-quiet", "-format", "csv"}, &local, &errw); err != nil {
+		t.Fatal(err)
+	}
+
+	blob := httptest.NewServer(blobstore.NewServer())
+	defer blob.Close()
+	startFleet := func() string {
+		bases := make([]string, 3)
+		for w := range bases {
+			ts := httptest.NewServer(serve.New(serve.Config{
+				Parallel: 2,
+				Store:    engine.NewHTTPStore(blob.URL, blob.Client()),
+			}))
+			t.Cleanup(ts.Close)
+			bases[w] = ts.URL
+		}
+		return strings.Join(bases, ",")
+	}
+
+	var cold bytes.Buffer
+	coldStats, err := run([]string{"-spec", specPath, "-server", startFleet(), "-format", "csv"}, &cold, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != local.String() {
+		t.Fatalf("fleet CSV differs from local:\n--- fleet ---\n%s--- local ---\n%s", cold.String(), local.String())
+	}
+	if coldStats.Simulated == 0 {
+		t.Fatalf("cold fleet run simulated nothing: %+v", coldStats)
+	}
+
+	// Entirely fresh workers, same blob store: warm, zero simulations.
+	var warm bytes.Buffer
+	warmStats, err := run([]string{"-spec", specPath, "-server", startFleet(), "-format", "csv"}, &warm, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.Simulated != 0 {
+		t.Fatalf("warm fleet run simulated %d jobs, want 0 (%+v)", warmStats.Simulated, warmStats)
+	}
+	if warm.String() != local.String() {
+		t.Fatal("warm fleet run emitted different bytes than local")
+	}
+}
+
+// TestFleetServerFlagRejectsEmptyList: a -server value with no usable
+// URLs is user input error (exit taxonomy 2), not a crash.
+func TestFleetServerFlagRejectsEmptyList(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if _, err := run([]string{"-spec", specPath, "-server", " , "}, &out, &errw); err == nil {
+		t.Fatal("run with an empty -server list succeeded")
+	}
+}

@@ -9,8 +9,10 @@
 // The grid runs through the Client layer: locally on the in-process
 // engine (simulations shard across -parallel workers, -store selects a
 // result-store backend reused across invocations) or, with -server, on
-// a remote distiqd via its streaming endpoint — same grid,
-// byte-identical output either way. Output rows stay in deterministic
+// one or more remote distiqd workers via their streaming endpoints — a
+// comma-separated -server list shards the grid across the workers by
+// job fingerprint and survives worker loss as long as one worker lives.
+// Same grid, byte-identical output every way. Output rows stay in deterministic
 // grid order; a warm rerun performs zero simulations and emits
 // identical bytes. Ctrl-C cancels cleanly (exit 130): scheduling stops,
 // in-flight simulations finish and persist, and a rerun completes only
@@ -31,6 +33,7 @@
 //	iqsweep -spec grid.json -store tier:mem,fs:/tmp/distiq-cache
 //	iqsweep -spec grid.json -store batch:http://blobs.internal/
 //	iqsweep -spec grid.json -server http://localhost:8090
+//	iqsweep -spec grid.json -server http://worker1:8090,http://worker2:8090
 //	iqsweep -spec grid.json -format md -o results.md
 //	iqsweep -scheme MixBUFF -queues 4,8,12,16 -entries 8,16,32 -suite fp
 //	iqsweep -scheme IssueFIFO -queues 8,16 -entries 8 -bench swim,gzip -distr
@@ -123,7 +126,7 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; local runs)")
 		cacheDir  = fs.String("cache-dir", "", "persistent result store directory (alias for -store fs:DIR; local runs)")
 		storeSpec = fs.String("store", "", "result-store backend: fs:DIR, mem, http(s)://URL, tier:SPEC,..., batch:SPEC (local runs)")
-		server    = fs.String("server", "", "run the sweep on a distiqd at this base URL instead of in-process")
+		server    = fs.String("server", "", "run the sweep on distiqd workers instead of in-process: one base URL, or a comma-separated list sharded by job fingerprint")
 		quiet     = fs.Bool("quiet", false, "suppress the progress reporter on stderr")
 
 		manifestOut = fs.String("manifest", "", "write the sweep's tamper-evident Merkle manifest to this JSON file")
@@ -173,6 +176,10 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 		return distiq.EngineStats{}, cliutil.BadInput(err)
 	}
 
+	if *server != "" && len(serverList(*server)) == 0 {
+		return distiq.EngineStats{}, cliutil.BadInput(fmt.Errorf("-server %q: no base URLs", *server))
+	}
+
 	// The sweep runs through the Client layer, local or remote by flag;
 	// Ctrl-C cancels the context, which stops scheduling new points
 	// (in-flight ones finish and persist) and exits 130.
@@ -183,7 +190,14 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	var local *distiq.LocalClient
 	var store distiq.ResultStore
 	if *server != "" {
-		cl = distiq.NewRemoteClient(*server)
+		if bases := serverList(*server); len(bases) > 1 {
+			// A comma-separated -server list is a fleet: points shard
+			// across the workers by job fingerprint, and a dead worker's
+			// points requeue onto the survivors.
+			cl = distiq.NewFleetClient(bases)
+		} else {
+			cl = distiq.NewRemoteClient(bases[0])
+		}
 	} else {
 		opts := []distiq.ClientOption{distiq.WithParallel(*parallel)}
 		if effStore != "" {
@@ -239,6 +253,18 @@ func run(argv []string, stdout, stderr io.Writer) (distiq.EngineStats, error) {
 	}
 	_, err = stdout.Write(buf.Bytes())
 	return stats, err
+}
+
+// serverList splits a -server value on commas, dropping empty items (a
+// trailing comma is tolerated).
+func serverList(s string) []string {
+	var bases []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	return bases
 }
 
 // writeManifest stores a completed sweep's Merkle manifest as JSON. The

@@ -160,6 +160,12 @@ type (
 	// RemoteClient runs jobs on a distiqd service over its streaming
 	// NDJSON endpoint.
 	RemoteClient = client.Remote
+	// FleetClient shards sweeps across N distiqd workers by job
+	// fingerprint, requeueing a dead worker's points onto survivors.
+	FleetClient = client.Fleet
+	// FleetStats is a snapshot of a FleetClient's delivery, requeue and
+	// worker-loss counters.
+	FleetStats = client.FleetStats
 	// Job identifies one unit of experiment work (benchmark,
 	// configuration, sizing, optional machine override).
 	Job = client.Job
@@ -181,6 +187,16 @@ var (
 	// NewRemoteClient returns the Client for the distiqd at a base URL.
 	// Options: WithHTTPClient.
 	NewRemoteClient = client.NewRemote
+	// NewFleetClient returns the Client over a list of distiqd worker
+	// base URLs. Options: WithHTTPClient, WithFleetRetry,
+	// WithFleetStreams.
+	NewFleetClient = client.NewFleet
+	// WithFleetRetry tunes a fleet client's per-point attempt budget and
+	// retry backoff.
+	WithFleetRetry = client.WithFleetRetry
+	// WithFleetStreams bounds a fleet client's in-flight sub-sweeps per
+	// worker.
+	WithFleetStreams = client.WithFleetStreams
 	// WithParallel bounds a local client's concurrent simulations.
 	WithParallel = client.WithParallel
 	// WithCacheDir persists a local client's results to the shared

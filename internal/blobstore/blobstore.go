@@ -16,10 +16,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // maxBlobBytes bounds one blob accepted by the Server; canonical result
@@ -82,10 +84,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// DefaultTimeout bounds one blob exchange end to end when NewClient is
+// given no http.Client. Canonical entries are a few kilobytes, so half a
+// minute is generous for any healthy service; without this bound a hung
+// blob server would stall a sweep forever (http.DefaultClient has no
+// timeout at all).
+const DefaultTimeout = 30 * time.Second
+
+// NewHTTPClient returns an http.Client with bounded connection setup
+// (dial, TLS handshake, response headers) on a keep-alive transport —
+// one connection is reused across a group of Puts, the property the
+// write-behind batcher's flushes amortize. timeout > 0 additionally
+// bounds each whole exchange; timeout <= 0 leaves the total exchange
+// unbounded, the right shape for long-lived streaming responses (the
+// distiqd NDJSON stream sends headers immediately but bodies for as
+// long as the sweep runs).
+func NewHTTPClient(timeout time.Duration) *http.Client {
+	if timeout < 0 {
+		timeout = 0
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		},
+	}
+}
+
 // Client speaks the blob protocol against a base URL. The zero http
-// client is never used: nil hc selects http.DefaultClient, whose
-// keep-alive transport reuses one connection across a group of Puts —
-// the property the write-behind batcher's flushes amortize.
+// client is never used: nil hc selects NewHTTPClient(DefaultTimeout),
+// so a hung or unreachable blob server turns into a bounded transport
+// error (a store miss / disk error) instead of a stalled sweep.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -95,7 +132,7 @@ type Client struct {
 // or scheme://host/prefix; a trailing slash is tolerated).
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = NewHTTPClient(DefaultTimeout)
 	}
 	return &Client{base: strings.TrimSuffix(base, "/"), hc: hc}
 }

@@ -1,0 +1,489 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distiq/internal/blobstore"
+	"distiq/internal/cliutil"
+	"distiq/internal/engine"
+	"distiq/internal/obs"
+	"distiq/internal/scenario"
+)
+
+// Fleet defaults; WithFleetRetry and WithFleetStreams override them.
+const (
+	defaultFleetAttempts = 3
+	defaultFleetBackoff  = 250 * time.Millisecond
+	defaultFleetStreams  = 4
+)
+
+// Fleet is the Client over N distiqd workers: a client-side shard map.
+// A sweep's grid points are partitioned across the workers by distiq-v2
+// job fingerprint (engine.ShardIndex — deterministic, so every fleet
+// client pointed at the same worker list sends the same point to the
+// same worker and its warm cache), each point runs as a single-point
+// sub-sweep over the worker's streaming NDJSON endpoint, and results
+// merge back into deterministic grid order — the stream a Fleet sweep
+// delivers is byte-for-byte the stream a Local or Remote sweep of the
+// same grid delivers, Merkle manifest included.
+//
+// Failures are survived, not propagated, for as long as any worker
+// lives: a point that fails against a healthy worker (per its /healthz)
+// is retried there with exponential backoff under a bounded attempt
+// budget, while a worker that fails its health probe is declared dead
+// and its unfinished points are requeued onto the survivors by the same
+// fingerprint-stable map. The sweep fails only on caller cancellation,
+// an input the service rejects, an exhausted attempt budget, or the
+// death of every worker.
+type Fleet struct {
+	workers  []*Remote
+	attempts int
+	backoff  time.Duration
+	streams  int
+
+	points   []atomic.Int64 // delivered per worker
+	requeues atomic.Int64
+	retries  atomic.Int64
+	losses   atomic.Int64
+}
+
+// NewFleet returns a Fleet over the distiqd workers at baseURLs (at
+// least one). Recognized options: WithHTTPClient (shared by every
+// worker connection), WithFleetRetry, WithFleetStreams.
+func NewFleet(baseURLs []string, opts ...Option) *Fleet {
+	if len(baseURLs) == 0 {
+		panic("client: NewFleet needs at least one worker URL")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hc := cfg.httpClient
+	if hc == nil {
+		hc = blobstore.NewHTTPClient(0)
+	}
+	f := &Fleet{
+		workers:  make([]*Remote, len(baseURLs)),
+		attempts: cfg.fleetAttempts,
+		backoff:  cfg.fleetBackoff,
+		streams:  cfg.fleetStreams,
+		points:   make([]atomic.Int64, len(baseURLs)),
+	}
+	if f.attempts < 1 {
+		f.attempts = defaultFleetAttempts
+	}
+	if f.backoff <= 0 {
+		f.backoff = defaultFleetBackoff
+	}
+	if f.streams < 1 {
+		f.streams = defaultFleetStreams
+	}
+	for i, base := range baseURLs {
+		f.workers[i] = NewRemote(base, WithHTTPClient(hc))
+	}
+	return f
+}
+
+// Workers returns the fleet's worker base URLs, in shard-map order.
+func (f *Fleet) Workers() []string {
+	bases := make([]string, len(f.workers))
+	for i, w := range f.workers {
+		bases[i] = w.Base()
+	}
+	return bases
+}
+
+// Run resolves one job on the worker its fingerprint maps to, with the
+// same retry/requeue policy as a sweep point.
+func (f *Fleet) Run(ctx context.Context, job Job) (engine.Result, error) {
+	spec, err := SpecForJob(job)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	grid, err := spec.Expand()
+	if err != nil {
+		return engine.Result{}, err
+	}
+	st := f.Sweep(ctx, grid)
+	if !st.Next() {
+		if st.Err() != nil {
+			return engine.Result{}, st.Err()
+		}
+		return engine.Result{}, errors.New("client: fleet stream delivered no result")
+	}
+	res := st.Update().Result
+	for st.Next() {
+	}
+	return res, st.Err()
+}
+
+// Sweep shards the grid across the fleet and streams per-point results
+// in deterministic grid order: out-of-order completions are buffered and
+// released strictly in sequence, whatever worker produced them. Every
+// point must be expressible as a single-point scenario spec (SpecForJob)
+// — grids expanded from specs always are — and that is checked up front,
+// before any network traffic. Cancelling ctx aborts the in-flight
+// sub-sweeps promptly; the stream's error unwraps to context.Canceled.
+func (f *Fleet) Sweep(ctx context.Context, grid *scenario.Grid) *Stream {
+	st := newStream(grid)
+	go func() {
+		defer st.finish()
+		f.sweep(ctx, grid, st)
+	}()
+	return st
+}
+
+// fleetRun is the shared state of one sharded sweep: per-worker point
+// queues, liveness, the per-point attempt ledger, and the merge buffer
+// that restores grid order. All of it is guarded by mu; cond is
+// broadcast whenever queues gain points, a worker dies, the sweep fails,
+// or the last point lands.
+type fleetRun struct {
+	f     *Fleet
+	grid  *scenario.Grid
+	jobs  []engine.Job
+	fps   []string         // fingerprint per point (drives requeue placement)
+	grids []*scenario.Grid // pre-expanded single-point grid per point
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]int // pending point indexes per worker
+	dead    []bool
+	aliveN  int
+	tries   []int // attempts consumed per point
+	results []engine.Result
+	sources []engine.Source
+	done    []bool
+	next    int // first grid index not yet released to the stream
+	left    int // points not yet delivered
+	err     error
+
+	st *Stream
+}
+
+// sweep partitions, runs and merges one grid; it reports the terminal
+// error (if any) onto st and returns when every goroutine has drained.
+func (f *Fleet) sweep(ctx context.Context, grid *scenario.Grid, st *Stream) {
+	n := grid.Size()
+	jobs := grid.Jobs()
+	r := &fleetRun{
+		f:       f,
+		grid:    grid,
+		jobs:    jobs,
+		fps:     make([]string, n),
+		grids:   make([]*scenario.Grid, n),
+		queues:  make([][]int, len(f.workers)),
+		dead:    make([]bool, len(f.workers)),
+		aliveN:  len(f.workers),
+		tries:   make([]int, n),
+		results: make([]engine.Result, n),
+		sources: make([]engine.Source, n),
+		done:    make([]bool, n),
+		left:    n,
+		st:      st,
+	}
+	r.cond = sync.NewCond(&r.mu)
+
+	// Address and render every point before any network I/O, so a grid
+	// the fleet cannot shard (or a point no spec can express) fails
+	// instantly and deterministically.
+	for i, j := range jobs {
+		fp, ok := j.Fingerprint()
+		if !ok {
+			st.fail(pointErr(grid, i, errors.New("custom schemes cannot run on a fleet")))
+			return
+		}
+		spec, err := SpecForJob(j)
+		if err != nil {
+			st.fail(pointErr(grid, i, err))
+			return
+		}
+		pg, err := spec.Expand()
+		if err != nil {
+			st.fail(pointErr(grid, i, err))
+			return
+		}
+		r.fps[i] = fp
+		r.grids[i] = pg
+	}
+	parts, err := engine.PartitionJobs(jobs, len(f.workers))
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	for w, part := range parts {
+		r.queues[w] = part
+	}
+
+	// A cancelled caller must wake goroutines parked on the cond.
+	stopWatch := context.AfterFunc(ctx, func() {
+		r.setErr(fmt.Errorf("client: fleet sweep: %w", context.Cause(ctx)))
+	})
+	defer stopWatch()
+
+	var wg sync.WaitGroup
+	for w := range f.workers {
+		for s := 0; s < f.streams; s++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				f.serveWorker(ctx, r, w)
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	err = r.err
+	r.mu.Unlock()
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	// Same manifest path as Local: built from the merged results, so the
+	// Merkle root is identical whatever sharding produced them.
+	if m, err := engine.BuildManifest(grid.Spec.Name, jobs, r.results); err == nil {
+		st.setManifest(m)
+	}
+}
+
+// serveWorker is one stream slot against worker w: it pulls point
+// indexes off w's queue until the sweep completes, fails, or w dies.
+func (f *Fleet) serveWorker(ctx context.Context, r *fleetRun, w int) {
+	for {
+		r.mu.Lock()
+		for r.err == nil && r.left > 0 && !r.dead[w] && len(r.queues[w]) == 0 {
+			r.cond.Wait()
+		}
+		if r.err != nil || r.left == 0 || r.dead[w] {
+			r.mu.Unlock()
+			return
+		}
+		idx := r.queues[w][0]
+		r.queues[w] = r.queues[w][1:]
+		r.tries[idx]++
+		attempt := r.tries[idx]
+		r.mu.Unlock()
+
+		res, src, err := f.runPoint(ctx, f.workers[w], r.grids[idx])
+		if err == nil {
+			r.deliver(w, idx, res, src)
+			continue
+		}
+		f.handleFailure(ctx, r, w, idx, attempt, err)
+	}
+}
+
+// runPoint runs one single-point sub-sweep against worker w and returns
+// its result and resolution source.
+func (f *Fleet) runPoint(ctx context.Context, w *Remote, grid *scenario.Grid) (engine.Result, engine.Source, error) {
+	st := w.Sweep(ctx, grid)
+	if !st.Next() {
+		err := st.Err()
+		if err == nil {
+			err = errors.New("stream delivered no result")
+		}
+		return engine.Result{}, "", err
+	}
+	u := st.Update()
+	for st.Next() {
+	}
+	if err := st.Err(); err != nil {
+		return engine.Result{}, "", err
+	}
+	return u.Result, u.Source, nil
+}
+
+// deliver records one resolved point and releases the in-order prefix
+// to the stream.
+func (r *fleetRun) deliver(w, idx int, res engine.Result, src engine.Source) {
+	r.f.points[w].Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil || r.done[idx] {
+		return
+	}
+	r.results[idx], r.sources[idx], r.done[idx] = res, src, true
+	r.left--
+	for r.next < len(r.done) && r.done[r.next] {
+		r.st.send(Update{Index: r.next, Point: r.grid.Points[r.next], Result: r.results[r.next], Source: r.sources[r.next]})
+		r.next++
+	}
+	if r.left == 0 {
+		r.cond.Broadcast()
+	}
+}
+
+// setErr records the sweep's terminal error (first one wins) and wakes
+// every parked goroutine.
+func (r *fleetRun) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// handleFailure sorts one failed point attempt into the taxonomy:
+// caller cancellation and service-rejected input fail the sweep; a
+// healthy worker earns a backed-off retry in place; a worker that fails
+// its health probe is declared dead and its points move to survivors.
+func (f *Fleet) handleFailure(ctx context.Context, r *fleetRun, w, idx, attempt int, err error) {
+	switch {
+	case ctx.Err() != nil:
+		r.setErr(pointErr(r.grid, idx, context.Cause(ctx)))
+		return
+	case errors.Is(err, context.Canceled):
+		r.setErr(pointErr(r.grid, idx, err))
+		return
+	case cliutil.IsBadInput(err):
+		// The service validated the point and rejected it; no worker
+		// will answer differently.
+		r.setErr(pointErr(r.grid, idx, err))
+		return
+	}
+	if attempt >= f.attempts {
+		r.setErr(pointErr(r.grid, idx, fmt.Errorf("failed after %d attempts on %s: %w", attempt, f.workers[w].Base(), err)))
+		return
+	}
+	if f.workers[w].Healthy(ctx) {
+		f.retries.Add(1)
+		if !sleepCtx(ctx, f.backoff<<uint(attempt-1)) {
+			r.setErr(pointErr(r.grid, idx, context.Cause(ctx)))
+			return
+		}
+		r.requeue(w, idx)
+		return
+	}
+	r.loseWorker(w, idx, err)
+}
+
+// requeue puts a transiently failed point back on its worker's queue.
+func (r *fleetRun) requeue(w, idx int) {
+	r.mu.Lock()
+	if r.err == nil && !r.dead[w] {
+		r.queues[w] = append(r.queues[w], idx)
+	} else if r.err == nil {
+		// The worker died while this point backed off; place it like the
+		// rest of the dead worker's queue.
+		r.mu.Unlock()
+		r.loseWorker(w, idx, errors.New("worker died during backoff"))
+		return
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// loseWorker declares worker w dead and requeues the failed point plus
+// w's whole pending queue onto the survivors, fingerprint-stably. With
+// no survivor left the sweep fails.
+func (r *fleetRun) loseWorker(w, idx int, cause error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	moved := []int{idx}
+	if !r.dead[w] {
+		r.dead[w] = true
+		r.aliveN--
+		r.f.losses.Add(1)
+		moved = append(moved, r.queues[w]...)
+		r.queues[w] = nil
+	}
+	if r.aliveN == 0 {
+		r.err = fmt.Errorf("client: fleet: every worker lost (last %s: %w)", r.f.workers[w].Base(), cause)
+		r.cond.Broadcast()
+		return
+	}
+	alive := make([]int, 0, r.aliveN)
+	for i := range r.f.workers {
+		if !r.dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	for _, p := range moved {
+		if r.done[p] {
+			continue
+		}
+		t := alive[engine.ShardIndex(r.fps[p], len(alive))]
+		r.queues[t] = append(r.queues[t], p)
+		r.f.requeues.Add(1)
+	}
+	r.cond.Broadcast()
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// FleetStats is a snapshot of a Fleet's lifetime counters.
+type FleetStats struct {
+	// Points counts delivered results per worker, in constructor order.
+	Points []int64
+	// Requeues counts points moved off a dead worker onto survivors.
+	Requeues int64
+	// Retries counts backed-off retries against healthy workers.
+	Retries int64
+	// WorkerLosses counts workers declared dead (per sweep — a worker
+	// may recover and serve, and die in, a later sweep).
+	WorkerLosses int64
+}
+
+// Stats returns a snapshot of the fleet's counters.
+func (f *Fleet) Stats() FleetStats {
+	s := FleetStats{
+		Points:       make([]int64, len(f.points)),
+		Requeues:     f.requeues.Load(),
+		Retries:      f.retries.Load(),
+		WorkerLosses: f.losses.Load(),
+	}
+	for i := range f.points {
+		s.Points[i] = f.points[i].Load()
+	}
+	return s
+}
+
+// Instrument registers the fleet's counters on reg:
+// distiq_fleet_points_total per worker, plus the requeue, retry and
+// worker-loss totals and the configured fleet size.
+func (f *Fleet) Instrument(reg *obs.Registry) {
+	for i := range f.workers {
+		i := i
+		reg.CounterFunc("distiq_fleet_points_total",
+			"Grid points resolved, per fleet worker.",
+			func() float64 { return float64(f.points[i].Load()) },
+			obs.L("worker", strconv.Itoa(i)))
+	}
+	reg.CounterFunc("distiq_fleet_requeues_total",
+		"Points requeued from a dead worker onto survivors.",
+		func() float64 { return float64(f.requeues.Load()) })
+	reg.CounterFunc("distiq_fleet_retries_total",
+		"Backed-off point retries against healthy workers.",
+		func() float64 { return float64(f.retries.Load()) })
+	reg.CounterFunc("distiq_fleet_worker_losses_total",
+		"Workers declared dead by the health probe.",
+		func() float64 { return float64(f.losses.Load()) })
+	reg.GaugeFunc("distiq_fleet_workers",
+		"Workers configured in the fleet shard map.",
+		func() float64 { return float64(len(f.workers)) })
+}
+
+// compile-time interface check.
+var _ Client = (*Fleet)(nil)

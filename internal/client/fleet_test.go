@@ -1,0 +1,384 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distiq/internal/blobstore"
+	"distiq/internal/client"
+	"distiq/internal/engine"
+	"distiq/internal/serve"
+)
+
+// startWorkers spins up n in-process distiqd workers and returns their
+// base URLs plus the test servers (for kill orchestration).
+func startWorkers(t *testing.T, n int, cfg serve.Config) ([]string, []*httptest.Server) {
+	t.Helper()
+	bases := make([]string, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(serve.New(cfg))
+		t.Cleanup(ts.Close)
+		bases[i] = ts.URL
+		servers[i] = ts
+	}
+	return bases, servers
+}
+
+// localDocs renders the canonical grid through a Local client — the
+// byte-level reference every fleet sweep must reproduce.
+func localDocs(t *testing.T) (map[string]string, []byte) {
+	t.Helper()
+	st := client.NewLocal(client.WithParallel(4)).Sweep(context.Background(), testGrid(t))
+	rs, err := st.ResultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.Manifest()
+	if m == nil {
+		t.Fatal("local sweep has no manifest")
+	}
+	mj, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emitAll(t, rs), mj
+}
+
+// TestFleetParityWithLocal: the canonical 4-point grid sharded across 3
+// httptest workers emits byte-identical CSV/JSON/markdown and an
+// identical Merkle manifest to a Local sweep — sharding is invisible in
+// the output. A second consume-by-Next sweep checks strict grid order.
+func TestFleetParityWithLocal(t *testing.T) {
+	wantDocs, wantManifest := localDocs(t)
+	bases, _ := startWorkers(t, 3, serve.Config{Parallel: 2})
+	fleet := client.NewFleet(bases)
+
+	st := fleet.Sweep(context.Background(), testGrid(t))
+	rs, err := st.ResultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDocs := emitAll(t, rs)
+	for format, want := range wantDocs {
+		if gotDocs[format] != want {
+			t.Fatalf("fleet %s output differs from local:\n--- fleet ---\n%s--- local ---\n%s", format, gotDocs[format], want)
+		}
+	}
+	m := st.Manifest()
+	if m == nil {
+		t.Fatal("fleet sweep has no manifest")
+	}
+	mj, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mj, wantManifest) {
+		t.Fatalf("fleet manifest differs from local:\n--- fleet ---\n%s\n--- local ---\n%s", mj, wantManifest)
+	}
+	if c := st.Counts(); c.Total() != 4 {
+		t.Fatalf("fleet stream counted %d points, want 4 (%+v)", c.Total(), c)
+	}
+
+	// Every point was delivered by the worker its fingerprint maps to.
+	parts, err := engine.PartitionJobs(testGrid(t).Jobs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := fleet.Stats()
+	var total int64
+	for w, delivered := range stats.Points {
+		if delivered != int64(len(parts[w])) {
+			t.Fatalf("worker %d delivered %d points, want its partition of %d", w, delivered, len(parts[w]))
+		}
+		total += delivered
+	}
+	if total != 4 || stats.WorkerLosses != 0 || stats.Requeues != 0 {
+		t.Fatalf("unexpected fleet stats %+v", stats)
+	}
+
+	// Warm second sweep, consumed point by point: strictly increasing
+	// grid order whatever worker answered.
+	st = fleet.Sweep(context.Background(), testGrid(t))
+	n := 0
+	for st.Next() {
+		if u := st.Update(); u.Index != n {
+			t.Fatalf("update %d has index %d", n, u.Index)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("warm fleet stream delivered %d of 4 points", n)
+	}
+}
+
+// killableWorker is a distiqd whose front door can be slammed shut: once
+// killed, every request (including /healthz) answers 503 and in-flight
+// connections are severed — indistinguishable from a crashed worker.
+type killableWorker struct {
+	ts   *httptest.Server
+	dead atomic.Bool
+}
+
+func newKillableWorker(t *testing.T, cfg serve.Config) *killableWorker {
+	t.Helper()
+	w := &killableWorker{}
+	inner := serve.New(cfg)
+	w.ts = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if w.dead.Load() {
+			http.Error(rw, "worker down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// kill makes the worker unreachable: new requests 503, in-flight
+// streams are cut mid-body.
+func (w *killableWorker) kill() {
+	w.dead.Store(true)
+	w.ts.CloseClientConnections()
+}
+
+// TestFleetWorkerLossRequeuesPoints: a worker killed mid-sweep (its
+// simulations blocked, its connections severed, its health probe dark)
+// loses its whole partition to the survivors, and the sweep still
+// completes with output identical to local — with zero simulations
+// beyond the requeued points.
+func TestFleetWorkerLossRequeuesPoints(t *testing.T) {
+	wantDocs, _ := localDocs(t)
+	grid := testGrid(t)
+	parts, err := engine.PartitionJobs(grid.Jobs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for w, part := range parts {
+		if len(part) > 0 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no worker owns any point")
+	}
+
+	// The victim's simulator parks every job until released, so none of
+	// its points can complete before the kill; the survivors simulate
+	// for real.
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	blockingSim := func(j engine.Job) (engine.Result, error) {
+		started <- struct{}{}
+		<-release
+		return engine.Simulate(j)
+	}
+	t.Cleanup(func() { close(release) })
+
+	bases := make([]string, 3)
+	var killable *killableWorker
+	for w := 0; w < 3; w++ {
+		if w == victim {
+			killable = newKillableWorker(t, serve.Config{Parallel: 2, Simulate: blockingSim})
+			bases[w] = killable.ts.URL
+			continue
+		}
+		ts := httptest.NewServer(serve.New(serve.Config{Parallel: 2}))
+		t.Cleanup(ts.Close)
+		bases[w] = ts.URL
+	}
+
+	fleet := client.NewFleet(bases, client.WithFleetRetry(3, 10*time.Millisecond))
+	go func() {
+		<-started // the victim is simulating: its partition is in flight
+		killable.kill()
+	}()
+
+	st := fleet.Sweep(context.Background(), grid)
+	rs, err := st.ResultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDocs := emitAll(t, rs)
+	for format, want := range wantDocs {
+		if gotDocs[format] != want {
+			t.Fatalf("post-loss fleet %s output differs from local", format)
+		}
+	}
+	if st.Manifest() == nil {
+		t.Fatal("post-loss fleet sweep has no manifest")
+	}
+
+	stats := fleet.Stats()
+	if stats.WorkerLosses != 1 {
+		t.Fatalf("fleet lost %d workers, want 1 (%+v)", stats.WorkerLosses, stats)
+	}
+	if stats.Requeues != int64(len(parts[victim])) {
+		t.Fatalf("fleet requeued %d points, want the victim's partition of %d (%+v)",
+			stats.Requeues, len(parts[victim]), stats)
+	}
+	if stats.Points[victim] != 0 {
+		t.Fatalf("dead worker delivered %d points, want 0", stats.Points[victim])
+	}
+
+	// Zero duplicate simulations beyond the requeued points: the
+	// survivors simulated exactly the whole grid between them.
+	var survivorSims int64
+	for w, base := range bases {
+		if w == victim {
+			continue
+		}
+		survivorSims += workerSimulated(t, base)
+	}
+	if survivorSims != int64(grid.Size()) {
+		t.Fatalf("survivors simulated %d points, want exactly %d", survivorSims, grid.Size())
+	}
+}
+
+// workerSimulated reads a worker's engine-wide simulated counter from
+// /v1/stats.
+func workerSimulated(t *testing.T, base string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Simulated int64 `json:"simulated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Simulated
+}
+
+// TestFleetColdWarmSharedBlobStore: workers rendezvous on one shared
+// HTTP blob store — a cold fleet sweep simulates every point once, and
+// a second fleet of entirely fresh workers over the same blob store
+// re-emits identical bytes with zero simulations.
+func TestFleetColdWarmSharedBlobStore(t *testing.T) {
+	blob := httptest.NewServer(blobstore.NewServer())
+	defer blob.Close()
+
+	mkFleet := func() *client.Fleet {
+		bases := make([]string, 3)
+		for w := range bases {
+			ts := httptest.NewServer(serve.New(serve.Config{
+				Parallel: 2,
+				Store:    engine.NewHTTPStore(blob.URL, blob.Client()),
+			}))
+			t.Cleanup(ts.Close)
+			bases[w] = ts.URL
+		}
+		return client.NewFleet(bases)
+	}
+
+	cold := mkFleet().Sweep(context.Background(), testGrid(t))
+	coldRes, err := cold.ResultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cold.Counts(); c.Simulated != 4 {
+		t.Fatalf("cold fleet sweep simulated %d points, want 4 (%+v)", c.Simulated, c)
+	}
+
+	warm := mkFleet().Sweep(context.Background(), testGrid(t))
+	warmRes, err := warm.ResultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := warm.Counts(); c.Simulated != 0 {
+		t.Fatalf("warm fleet sweep simulated %d points, want 0 (%+v)", c.Simulated, c)
+	}
+	var coldCSV, warmCSV strings.Builder
+	if err := coldRes.Emit(&coldCSV, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmRes.Emit(&warmCSV, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if coldCSV.String() != warmCSV.String() {
+		t.Fatal("warm fleet sweep emitted different bytes than cold")
+	}
+}
+
+// TestFleetRetriesTransientFailure: a stream request that fails against
+// a worker whose health probe still answers is retried in place — no
+// worker loss, no requeue, and the sweep completes.
+func TestFleetRetriesTransientFailure(t *testing.T) {
+	inner := serve.New(serve.Config{Parallel: 2})
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") && failOnce.CompareAndSwap(true, false) {
+			http.Error(rw, "transient hiccup", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	defer ts.Close()
+
+	fleet := client.NewFleet([]string{ts.URL}, client.WithFleetRetry(3, time.Millisecond))
+	st := fleet.Sweep(context.Background(), testGrid(t))
+	if _, err := st.ResultSet(); err != nil {
+		t.Fatal(err)
+	}
+	stats := fleet.Stats()
+	if stats.Retries < 1 {
+		t.Fatalf("fleet recorded %d retries, want at least 1", stats.Retries)
+	}
+	if stats.WorkerLosses != 0 || stats.Requeues != 0 {
+		t.Fatalf("transient failure escalated to worker loss: %+v", stats)
+	}
+}
+
+// TestFleetAllWorkersLost: with every worker dark the sweep fails
+// instead of hanging.
+func TestFleetAllWorkersLost(t *testing.T) {
+	w := newKillableWorker(t, serve.Config{Parallel: 2})
+	w.kill()
+	fleet := client.NewFleet([]string{w.ts.URL}, client.WithFleetRetry(2, time.Millisecond))
+	st := fleet.Sweep(context.Background(), testGrid(t))
+	_, err := st.ResultSet()
+	if err == nil {
+		t.Fatal("sweep over a dead fleet succeeded")
+	}
+}
+
+// TestFleetSweepCancel: cancelling the caller's context mid-sweep
+// terminates the stream with an error unwrapping to context.Canceled —
+// the same contract Local and Remote honor.
+func TestFleetSweepCancel(t *testing.T) {
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	blockingSim := func(j engine.Job) (engine.Result, error) {
+		started <- struct{}{}
+		<-release
+		return engine.Simulate(j)
+	}
+	t.Cleanup(func() { close(release) })
+
+	bases, _ := startWorkers(t, 3, serve.Config{Parallel: 2, Simulate: blockingSim})
+	fleet := client.NewFleet(bases)
+	ctx, cancel := context.WithCancel(context.Background())
+	st := fleet.Sweep(ctx, testGrid(t))
+	<-started
+	cancel()
+	if _, err := st.ResultSet(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fleet sweep returned %v, want context.Canceled in the chain", err)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
+	"distiq/internal/blobstore"
 	"distiq/internal/cliutil"
 	"distiq/internal/core"
 	"distiq/internal/engine"
@@ -34,7 +36,11 @@ type Remote struct {
 }
 
 // NewRemote returns a Remote client for the distiqd at baseURL (e.g.
-// "http://localhost:8090"). Recognized options: WithHTTPClient.
+// "http://localhost:8090"). Recognized options: WithHTTPClient. The
+// default client bounds connection setup (dial, TLS, response headers)
+// but not the whole exchange — a sweep stream stays open for as long as
+// the sweep runs, so an overall timeout would sever healthy long sweeps,
+// while an unreachable worker still fails fast at connect time.
 func NewRemote(baseURL string, opts ...Option) *Remote {
 	var cfg config
 	for _, o := range opts {
@@ -42,13 +48,34 @@ func NewRemote(baseURL string, opts ...Option) *Remote {
 	}
 	hc := cfg.httpClient
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = blobstore.NewHTTPClient(0)
 	}
 	return &Remote{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
 // Base returns the service base URL.
 func (c *Remote) Base() string { return c.base }
+
+// Healthy probes the service's /healthz readiness endpoint, bounding
+// the probe to two seconds. Anything but a prompt 200 — refused
+// connection, timeout, a draining 503 — reads as unhealthy; the fleet
+// client uses this to distinguish a dead worker (requeue its points
+// elsewhere) from a transient stream failure (retry in place).
+func (c *Remote) Healthy(ctx context.Context) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
 
 // Run resolves one job by submitting it as a single-point sweep. The job
 // must be expressible as a scenario spec (named or parametric scheme, no

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -76,10 +77,17 @@ type Batcher struct {
 	base ResultStore
 	cfg  BatcherConfig
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast when queue space frees or inflight hits 0
-	pending  map[string][]byte
-	queue    []BatchEntry
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when queue space frees or inflight hits 0
+	pending map[string][]byte
+	// queue holds the entries awaiting a group commit; queued indexes
+	// them by fingerprint so a re-Put of a queued fingerprint coalesces
+	// in place instead of appending a duplicate that would group-commit
+	// the same fingerprint twice. Entries leave queued the moment their
+	// group is taken in flight; pending keeps serving reads until the
+	// commit lands.
+	queue    []*BatchEntry
+	queued   map[string]*BatchEntry
 	queuedB  int
 	inflight int
 	closed   bool
@@ -93,6 +101,7 @@ type Batcher struct {
 	flushed  atomic.Int64
 	flushes  atomic.Int64
 	lost     atomic.Int64
+	deduped  atomic.Int64
 }
 
 // NewBatcher wraps base with write-behind group commits. base must be
@@ -107,6 +116,7 @@ func NewBatcher(base ResultStore, cfg BatcherConfig) *Batcher {
 		base:    base,
 		cfg:     cfg.withDefaults(),
 		pending: make(map[string][]byte),
+		queued:  make(map[string]*BatchEntry),
 		kick:    make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -163,19 +173,47 @@ func (b *Batcher) Put(fp string, job Job, r Result) error {
 }
 
 // PutRaw parks pre-encoded entry bytes for the next group commit.
+// Duplicate fingerprints coalesce: a re-Put while the fingerprint is
+// still queued updates the queued entry in place, and a re-Put of
+// identical bytes while the entry is in flight is dropped (the commit
+// under way already writes exactly these bytes) — either way one Put's
+// worth of work reaches the base store, never two group commits of the
+// same fingerprint.
 func (b *Batcher) PutRaw(fp string, data []byte) error {
 	cp := append([]byte(nil), data...)
 	b.mu.Lock()
-	for !b.closed && len(b.queue) >= b.cfg.MaxPending {
+	for {
+		if b.closed {
+			b.mu.Unlock()
+			return fmt.Errorf("engine: batcher: closed")
+		}
+		if e, ok := b.queued[fp]; ok {
+			if !bytes.Equal(e.Data, cp) {
+				b.queuedB += len(cp) - len(e.Data)
+				e.Data = cp
+				b.pending[fp] = cp
+			}
+			b.mu.Unlock()
+			b.deduped.Add(1)
+			return nil
+		}
+		if prev, ok := b.pending[fp]; ok && bytes.Equal(prev, cp) {
+			// In flight with the same bytes: the running commit is this
+			// write.
+			b.mu.Unlock()
+			b.deduped.Add(1)
+			return nil
+		}
+		if len(b.queue) < b.cfg.MaxPending {
+			break
+		}
 		b.kickLocked()
 		b.cond.Wait()
 	}
-	if b.closed {
-		b.mu.Unlock()
-		return fmt.Errorf("engine: batcher: closed")
-	}
+	e := &BatchEntry{Fingerprint: fp, Data: cp}
 	b.pending[fp] = cp
-	b.queue = append(b.queue, BatchEntry{Fingerprint: fp, Data: cp})
+	b.queue = append(b.queue, e)
+	b.queued[fp] = e
 	b.queuedB += len(cp)
 	full := len(b.queue) >= b.cfg.MaxEntries || b.queuedB >= b.cfg.MaxBytes
 	if full {
@@ -234,11 +272,16 @@ func (b *Batcher) flushGroup() bool {
 	if n > b.cfg.MaxEntries {
 		n = b.cfg.MaxEntries
 	}
-	group := b.queue[:n:n]
-	b.queue = append([]BatchEntry(nil), b.queue[n:]...)
-	for _, e := range group {
+	// Snapshot the group by value under the lock: once an entry leaves
+	// the queued index a concurrent re-Put appends a fresh entry instead
+	// of mutating this one, so the commit below reads stable bytes.
+	group := make([]BatchEntry, n)
+	for i, e := range b.queue[:n] {
+		group[i] = *e
+		delete(b.queued, e.Fingerprint)
 		b.queuedB -= len(e.Data)
 	}
+	b.queue = append([]*BatchEntry(nil), b.queue[n:]...)
 	more := len(b.queue) > 0
 	b.inflight += n
 	b.cond.Broadcast()
@@ -257,9 +300,13 @@ func (b *Batcher) flushGroup() bool {
 	}
 	// Drop the group from the read-view regardless of outcome: committed
 	// entries are now served by the base store, and lost entries must
-	// read as misses so a rerun recomputes them.
+	// read as misses so a rerun recomputes them. A fingerprint that was
+	// re-queued with new bytes while this group was in flight keeps its
+	// fresher pending view — the newer entry still awaits its own commit.
 	for _, e := range group {
-		delete(b.pending, e.Fingerprint)
+		if _, requeued := b.queued[e.Fingerprint]; !requeued {
+			delete(b.pending, e.Fingerprint)
+		}
 	}
 	b.inflight -= len(group)
 	b.cond.Broadcast()
@@ -367,6 +414,8 @@ func (b *Batcher) Instrument(reg *obs.Registry) {
 		"Group commits performed.", count(&b.flushes))
 	reg.CounterFunc("distiq_store_batch_lost_total",
 		"Queued results dropped by failed flushes.", count(&b.lost))
+	reg.CounterFunc("distiq_store_batch_deduped_total",
+		"Duplicate-fingerprint writes coalesced instead of queued.", count(&b.deduped))
 	reg.GaugeFunc("distiq_store_batch_pending",
 		"Results queued but not yet committed.",
 		func() float64 {

@@ -359,3 +359,131 @@ func TestEngineWarmRerunThroughBatchedStore(t *testing.T) {
 		t.Fatalf("warm rerun disk hits = %d, want %d", st.DiskHits, len(jobs))
 	}
 }
+
+// blockingStore parks PutRaw/PutBatch until released, so a test can
+// hold a group commit in flight while it races more Puts against it.
+type blockingStore struct {
+	inner   *MemStore
+	started chan struct{} // signaled once per commit that begins
+	release chan struct{} // closed to let commits proceed
+}
+
+func newBlockingStore() *blockingStore {
+	return &blockingStore{
+		inner:   NewMemStore(),
+		started: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+}
+
+func (s *blockingStore) Get(fp string, job Job) (Result, bool) { return s.inner.Get(fp, job) }
+func (s *blockingStore) Has(fp string) bool                    { return s.inner.Has(fp) }
+func (s *blockingStore) Raw(fp string) ([]byte, error)         { return s.inner.Raw(fp) }
+func (s *blockingStore) Close() error                          { return s.inner.Close() }
+func (s *blockingStore) Put(fp string, job Job, r Result) error {
+	data, err := entryBytes(job, r)
+	if err != nil {
+		return err
+	}
+	return s.PutRaw(fp, data)
+}
+
+func (s *blockingStore) PutRaw(fp string, data []byte) error {
+	s.started <- struct{}{}
+	<-s.release
+	return s.inner.PutRaw(fp, data)
+}
+
+// TestBatcherDedupesQueuedFingerprint: re-Putting a fingerprint that is
+// still queued coalesces in place — one queue slot, one group commit,
+// the freshest bytes — instead of appending a duplicate that would
+// group-commit the same fingerprint twice.
+func TestBatcherDedupesQueuedFingerprint(t *testing.T) {
+	b := NewBatcher(NewMemStore(), BatcherConfig{Interval: time.Hour, MaxEntries: 1 << 20})
+	defer b.Close() //nolint:errcheck // teardown
+	job := quickJob("swim", core.MBDistr())
+	fp, _ := job.Fingerprint()
+	res := confResult(job)
+
+	// First Put parks stale bytes; the re-Put must replace them in the
+	// queue, not enqueue a second entry.
+	stale, err := staleEntryBytes(job, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutRaw(fp, stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(fp, job, res); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.enqueued.Load(); n != 1 {
+		t.Fatalf("enqueued %d entries for one fingerprint, want 1", n)
+	}
+	if n := b.deduped.Load(); n != 1 {
+		t.Fatalf("counted %d deduped writes, want 1", n)
+	}
+	// Read-your-writes must already serve the fresher bytes.
+	if _, ok := b.Get(fp, job); !ok {
+		t.Fatal("queued entry does not serve the replacing bytes")
+	}
+
+	b.Flush()
+	if n := b.flushed.Load(); n != 1 {
+		t.Fatalf("flushed %d entries, want 1 (duplicate group-committed?)", n)
+	}
+	if _, ok := b.Base().Get(fp, job); !ok {
+		t.Fatal("base store holds the stale bytes, want the replacement")
+	}
+	// Counter agreement at quiescence: everything enqueued is accounted
+	// flushed or lost.
+	if e, f, l := b.enqueued.Load(), b.flushed.Load(), b.lost.Load(); e != f+l {
+		t.Fatalf("counters disagree: enqueued %d != flushed %d + lost %d", e, f, l)
+	}
+}
+
+// TestBatcherDedupesInflightFingerprint: a re-Put of identical bytes
+// while the entry's group commit is in flight is dropped (the running
+// commit already writes exactly those bytes), so the fingerprint never
+// commits twice and the counters still agree.
+func TestBatcherDedupesInflightFingerprint(t *testing.T) {
+	base := newBlockingStore()
+	b := NewBatcher(base, BatcherConfig{Interval: time.Hour, MaxEntries: 1 << 20})
+	job := quickJob("gzip", core.MBDistr())
+	fp, _ := job.Fingerprint()
+	res := confResult(job)
+
+	if err := b.Put(fp, job, res); err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan struct{})
+	go func() {
+		b.Flush()
+		close(flushDone)
+	}()
+	<-base.started // the group commit is now in flight
+
+	// Same fingerprint, same bytes, mid-commit: must coalesce.
+	if err := b.Put(fp, job, res); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.deduped.Load(); n != 1 {
+		t.Fatalf("counted %d deduped writes, want 1", n)
+	}
+
+	close(base.release)
+	<-flushDone
+	b.Flush()
+	if n := b.enqueued.Load(); n != 1 {
+		t.Fatalf("enqueued %d entries, want 1", n)
+	}
+	if n := b.flushed.Load(); n != 1 {
+		t.Fatalf("flushed %d entries, want 1", n)
+	}
+	if _, ok := b.Base().Get(fp, job); !ok {
+		t.Fatal("entry missing from base store after flush")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

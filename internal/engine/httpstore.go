@@ -19,8 +19,11 @@ type HTTPStore struct {
 }
 
 // NewHTTPStore returns a store speaking to the blob service at base
-// (e.g. "http://cache.internal:9000/distiq"). A nil hc selects
-// http.DefaultClient.
+// (e.g. "http://cache.internal:9000/distiq"). A nil hc selects a client
+// with bounded per-request timeouts (blobstore.DefaultTimeout), so a
+// hung blob server degrades into store misses instead of stalling a
+// sweep forever; pass an explicit client to tune or remove the bound
+// (the -store spec's ?timeout= parameter does this from the CLI).
 func NewHTTPStore(base string, hc *http.Client) *HTTPStore {
 	return &HTTPStore{c: blobstore.NewClient(base, hc)}
 }

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ShardIndex maps a distiq-v2 job fingerprint onto one of n shards:
+// FNV-1a over the fingerprint hex, modulo n. The fingerprint is already
+// a uniform SHA-256 digest, so the cheap second hash only folds it to
+// machine width; the mapping is deterministic across processes and
+// platforms for a fixed n, which is what lets independent fleet clients
+// (and a worker asked twice) agree on point placement without
+// coordination.
+func ShardIndex(fp string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(fp)) //nolint:errcheck // hash writes cannot fail
+	return int(h.Sum64() % uint64(n))
+}
+
+// PartitionJobs shards jobs across n workers by fingerprint, returning
+// for each worker the indexes (into jobs) it owns. Every job must be
+// content-addressable — a Custom-scheme job has no fingerprint and
+// cannot be placed, which is reported before any work is scheduled.
+func PartitionJobs(jobs []Job, n int) ([][]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: partition across %d workers", n)
+	}
+	parts := make([][]int, n)
+	for i, j := range jobs {
+		fp, ok := j.Fingerprint()
+		if !ok {
+			return nil, fmt.Errorf("engine: job %d (%s under %s) has no fingerprint and cannot be sharded", i, j.Bench, j.Config.Name)
+		}
+		w := ShardIndex(fp, n)
+		parts[w] = append(parts[w], i)
+	}
+	return parts, nil
+}

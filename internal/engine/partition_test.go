@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"distiq/internal/core"
+)
+
+// TestShardIndexDeterministic: the fingerprint → shard map is a pure
+// function — same fingerprint, same shard, every call — and lands in
+// range for any fleet size.
+func TestShardIndexDeterministic(t *testing.T) {
+	jobs := batchJobs(16)
+	for _, j := range jobs {
+		fp, ok := j.Fingerprint()
+		if !ok {
+			t.Fatal("test job not content-addressable")
+		}
+		for _, n := range []int{1, 2, 3, 7} {
+			w := ShardIndex(fp, n)
+			if w < 0 || w >= n {
+				t.Fatalf("ShardIndex(%s, %d) = %d, out of range", fp, n, w)
+			}
+			if again := ShardIndex(fp, n); again != w {
+				t.Fatalf("ShardIndex not deterministic: %d then %d", w, again)
+			}
+		}
+	}
+}
+
+// TestPartitionJobsCoversEveryPointOnce: the per-worker partitions are
+// a disjoint cover of the job list, and every index sits on the worker
+// its fingerprint maps to.
+func TestPartitionJobsCoversEveryPointOnce(t *testing.T) {
+	jobs := batchJobs(16)
+	parts, err := PartitionJobs(jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(jobs))
+	for w, part := range parts {
+		for _, i := range part {
+			if seen[i] {
+				t.Fatalf("job %d assigned twice", i)
+			}
+			seen[i] = true
+			fp, _ := jobs[i].Fingerprint()
+			if want := ShardIndex(fp, 3); want != w {
+				t.Fatalf("job %d on worker %d, fingerprint maps to %d", i, w, want)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("job %d assigned to no worker", i)
+		}
+	}
+}
+
+// TestPartitionJobsRejectsUnaddressable: a Custom-scheme job has no
+// fingerprint, and partitioning reports it before any work is placed.
+func TestPartitionJobsRejectsUnaddressable(t *testing.T) {
+	cfg := core.MBDistr()
+	cfg.FP.Custom = func(core.DomainConfig, core.Options) (core.Scheme, error) { return nil, nil }
+	custom := quickJob("swim", cfg)
+	if _, err := PartitionJobs([]Job{custom}, 2); err == nil {
+		t.Fatal("partitioning a custom-scheme job succeeded")
+	}
+	if _, err := PartitionJobs(batchJobs(2), 0); err == nil {
+		t.Fatal("partitioning across zero workers succeeded")
+	}
+}

@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"distiq/internal/blobstore"
 )
 
 // Store specs are the one-line backend selection syntax shared by every
@@ -15,8 +18,11 @@ import (
 //	tier:SPEC,SPEC,...     read-through tiers, fastest first
 //	batch:SPEC             write-behind group-commit batching over SPEC
 //
-// batch: may only be the outermost wrapper and tier: does not nest; the
-// legacy -cache-dir DIR flag is an alias for fs:DIR.
+// An http(s) backend accepts one optional query parameter,
+// ?timeout=DURATION, bounding each blob exchange end to end (default
+// blobstore.DefaultTimeout; 0 disables the bound). batch: may only be
+// the outermost wrapper and tier: does not nest; the legacy -cache-dir
+// DIR flag is an alias for fs:DIR.
 
 // ParseStoreSpec validates a store spec's syntax and returns the fs
 // directories it names (so front ends can run their directory checks
@@ -61,7 +67,11 @@ func parseLeaf(spec string) (fsDirs []string, err error) {
 		}
 		return []string{dir}, nil
 	case strings.HasPrefix(spec, "http://"), strings.HasPrefix(spec, "https://"):
-		if strings.TrimSuffix(spec[strings.Index(spec, "://")+3:], "/") == "" {
+		base, _, err := splitHTTPSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSuffix(base[strings.Index(base, "://")+3:], "/") == "" {
 			return nil, fmt.Errorf("store spec %q: URL needs a host", spec)
 		}
 		return nil, nil
@@ -107,5 +117,26 @@ func openLeaf(spec string) ResultStore {
 	case strings.HasPrefix(spec, "fs:"):
 		return NewStore(strings.TrimPrefix(spec, "fs:"))
 	}
-	return NewHTTPStore(spec, nil)
+	base, timeout, _ := splitHTTPSpec(spec) // validated by ParseStoreSpec
+	return NewHTTPStore(base, blobstore.NewHTTPClient(timeout))
+}
+
+// splitHTTPSpec splits an http(s) backend spec into its base URL and
+// per-request timeout. The only recognized query parameter is
+// ?timeout=DURATION (Go duration syntax; 0 disables the bound); absent,
+// the timeout is blobstore.DefaultTimeout.
+func splitHTTPSpec(spec string) (base string, timeout time.Duration, err error) {
+	base, query, found := strings.Cut(spec, "?")
+	if !found {
+		return base, blobstore.DefaultTimeout, nil
+	}
+	val, ok := strings.CutPrefix(query, "timeout=")
+	if !ok || val == "" || strings.ContainsAny(val, "&=") {
+		return "", 0, fmt.Errorf("store spec %q: the only URL parameter is ?timeout=DURATION", spec)
+	}
+	d, perr := time.ParseDuration(val)
+	if perr != nil || d < 0 {
+		return "", 0, fmt.Errorf("store spec %q: bad timeout %q (want a non-negative Go duration, e.g. 30s)", spec, val)
+	}
+	return base, d, nil
 }

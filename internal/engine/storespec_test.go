@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseStoreSpecTimeouts pins the ?timeout= syntax on http(s)
+// backends: a Go duration, the only recognized parameter, valid inside
+// tiers and under batch:.
+func TestParseStoreSpecTimeouts(t *testing.T) {
+	for _, spec := range []string{
+		"http://host/prefix?timeout=10s",
+		"https://host?timeout=0",
+		"tier:mem,http://host?timeout=1m30s",
+		"batch:http://host?timeout=250ms",
+	} {
+		if _, err := ParseStoreSpec(spec); err != nil {
+			t.Errorf("ParseStoreSpec(%q) = %v, want ok", spec, err)
+		}
+	}
+	for _, spec := range []string{
+		"http://host?timeout=nonsense",
+		"http://host?timeout=-1s",
+		"http://host?timeout=",
+		"http://host?ttl=10s",
+		"http://host?timeout=10s&extra=1",
+		"http://?timeout=10s",
+	} {
+		if _, err := ParseStoreSpec(spec); err == nil {
+			t.Errorf("ParseStoreSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestOpenStoreHTTPTimeoutBounds: a blob server that hangs longer than
+// the spec's ?timeout= turns into a bounded store miss instead of a
+// stalled sweep — the failure mode the default timeout exists to
+// prevent.
+func TestOpenStoreHTTPTimeoutBounds(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: release the handler before ts.Close waits on it
+
+	st, err := OpenStore(ts.URL + "?timeout=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close() //nolint:errcheck // teardown
+	hs, ok := st.(*HTTPStore)
+	if !ok {
+		t.Fatalf("OpenStore built %T, want *HTTPStore", st)
+	}
+	if got := hs.Base(); strings.Contains(got, "?") {
+		t.Fatalf("timeout parameter leaked into the base URL %q", got)
+	}
+
+	start := time.Now()
+	if hs.Has("deadbeef") {
+		t.Fatal("hung server reported a blob present")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe against a hung server took %v, want the 50ms bound to cut it", elapsed)
+	}
+}

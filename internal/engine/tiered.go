@@ -17,10 +17,13 @@ import (
 type Tiered struct {
 	levels []ResultStore
 
-	// hits[i] counts Gets satisfied at level i; misses counts Gets no
-	// level satisfied. Exposed on /metrics via Instrument.
-	hits   []atomic.Int64
-	misses atomic.Int64
+	// hits[i] counts Gets satisfied at level i; repairs[i] counts
+	// corrupt entries at level i overwritten byte-exactly from a deeper
+	// level's valid copy; misses counts Gets no level satisfied.
+	// Exposed on /metrics via Instrument.
+	hits    []atomic.Int64
+	repairs []atomic.Int64
+	misses  atomic.Int64
 }
 
 // NewTiered combines levels (fastest first) into one store. At least one
@@ -29,7 +32,11 @@ func NewTiered(levels ...ResultStore) *Tiered {
 	if len(levels) == 0 {
 		panic("engine: NewTiered needs at least one level")
 	}
-	return &Tiered{levels: levels, hits: make([]atomic.Int64, len(levels))}
+	return &Tiered{
+		levels:  levels,
+		hits:    make([]atomic.Int64, len(levels)),
+		repairs: make([]atomic.Int64, len(levels)),
+	}
 }
 
 // Levels returns the tier's levels, fastest first.
@@ -37,8 +44,14 @@ func (t *Tiered) Levels() []ResultStore { return t.levels }
 
 // Get reads through the tiers: the first level holding a valid entry for
 // the job serves it, and the entry's exact bytes are backfilled into
-// every faster level (best-effort) so the next Get stops sooner.
+// every faster level (best-effort) so the next Get stops sooner. A
+// faster level whose bytes were readable but failed validation is not
+// just skipped — the backfill overwrites the corrupt entry with the
+// deeper level's valid copy, and the repair is counted, so corruption
+// heals on first touch instead of being re-read and re-rejected on
+// every Get.
 func (t *Tiered) Get(fp string, job Job) (Result, bool) {
+	var corrupt uint64 // levels whose bytes read but failed to validate
 	for i, lvl := range t.levels {
 		raw, err := lvl.Raw(fp)
 		if err != nil {
@@ -46,13 +59,22 @@ func (t *Tiered) Get(fp string, job Job) (Result, bool) {
 		}
 		r, ok := decodeEntry(raw, job)
 		if !ok {
+			if i < 64 {
+				corrupt |= 1 << uint(i)
+			}
 			continue
 		}
 		t.hits[i].Add(1)
 		for j := 0; j < i; j++ {
-			if rp, ok := t.levels[j].(RawPutter); ok {
-				rp.PutRaw(fp, raw) //nolint:errcheck // backfill is advisory
+			rp, ok := t.levels[j].(RawPutter)
+			if !ok {
+				continue
 			}
+			if err := rp.PutRaw(fp, raw); err == nil && corrupt&(1<<uint(j)) != 0 {
+				t.repairs[j].Add(1)
+			}
+			// Backfill (and so repair) is advisory: a level that cannot
+			// accept the write stays degraded, never fails the Get.
 		}
 		return r, true
 	}
@@ -124,16 +146,20 @@ func (t *Tiered) Close() error {
 	return firstErr
 }
 
-// Instrument registers the tier's hit/miss counters on reg: one
-// distiq_store_tier_hits_total series per level (labeled by tier index
-// and backend kind) plus distiq_store_tier_misses_total.
+// Instrument registers the tier's hit/miss/repair counters on reg: one
+// distiq_store_tier_hits_total and distiq_store_tier_repairs_total
+// series per level (labeled by tier index and backend kind) plus
+// distiq_store_tier_misses_total.
 func (t *Tiered) Instrument(reg *obs.Registry) {
 	for i := range t.levels {
 		i := i
+		labels := []obs.Label{obs.L("tier", strconv.Itoa(i)), obs.L("kind", storeKind(t.levels[i]))}
 		reg.CounterFunc("distiq_store_tier_hits_total",
 			"Store reads satisfied at this tier level (0 = fastest).",
-			func() float64 { return float64(t.hits[i].Load()) },
-			obs.L("tier", strconv.Itoa(i)), obs.L("kind", storeKind(t.levels[i])))
+			func() float64 { return float64(t.hits[i].Load()) }, labels...)
+		reg.CounterFunc("distiq_store_tier_repairs_total",
+			"Corrupt entries at this tier level overwritten from a deeper level's valid copy.",
+			func() float64 { return float64(t.repairs[i].Load()) }, labels...)
 	}
 	reg.CounterFunc("distiq_store_tier_misses_total",
 		"Store reads no tier level satisfied.",

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"distiq/internal/core"
+	"distiq/internal/obs"
+)
+
+// TestTieredRepairsCorruptFastLevel: a fast-level entry whose bytes no
+// longer validate (torn write, stale version, flipped byte) must not be
+// re-read and re-rejected forever — the first Get served from a deeper
+// level overwrites the corrupt copy byte-exactly and counts the repair,
+// and the next Get hits the repaired fast level directly.
+func TestTieredRepairsCorruptFastLevel(t *testing.T) {
+	fast := NewMemStore()
+	deep := NewStore(t.TempDir())
+	tier := NewTiered(fast, deep)
+
+	job := quickJob("swim", core.MBDistr())
+	fp, _ := job.Fingerprint()
+	res := confResult(job)
+	if err := tier.Put(fp, job, res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := deep.Raw(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the fast level only.
+	if err := fast.PutRaw(fp, []byte(`{"torn":`)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := tier.Get(fp, job)
+	if !ok {
+		t.Fatal("tier missed despite a valid deep-level entry")
+	}
+	if got.IQEnergy != res.IQEnergy || got.Insts != res.Insts {
+		t.Fatalf("tier served %+v, want %+v", got, res)
+	}
+	if raw, err := fast.Raw(fp); err != nil || !bytes.Equal(raw, want) {
+		t.Fatalf("fast level not repaired byte-exactly (err=%v)", err)
+	}
+	if n := tier.repairs[0].Load(); n != 1 {
+		t.Fatalf("tier counted %d repairs at level 0, want 1", n)
+	}
+	if n := tier.hits[1].Load(); n != 1 {
+		t.Fatalf("tier counted %d hits at level 1, want 1", n)
+	}
+
+	// Repaired: the next Get stops at the fast level.
+	if _, ok := tier.Get(fp, job); !ok {
+		t.Fatal("tier missed after repair")
+	}
+	if n := tier.hits[0].Load(); n != 1 {
+		t.Fatalf("repaired fast level served %d hits, want 1", n)
+	}
+	if n := tier.repairs[0].Load(); n != 1 {
+		t.Fatalf("repair recounted: %d, want still 1", n)
+	}
+
+	// The repair counter is on /metrics.
+	reg := obs.NewRegistry()
+	tier.Instrument(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("distiq_store_tier_repairs_total")) {
+		t.Fatalf("exposition lacks distiq_store_tier_repairs_total:\n%s", buf.String())
+	}
+}
+
+// TestTieredBackfillWithoutCorruptionIsNotARepair: an ordinary
+// backfill into a fast level that simply missed (no bytes at all) must
+// not count as a repair.
+func TestTieredBackfillWithoutCorruptionIsNotARepair(t *testing.T) {
+	fast := NewMemStore()
+	deep := NewStore(t.TempDir())
+	tier := NewTiered(fast, deep)
+
+	job := quickJob("gzip", core.MBDistr())
+	fp, _ := job.Fingerprint()
+	if err := deep.Put(fp, job, confResult(job)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(fp, job); !ok {
+		t.Fatal("tier missed despite a valid deep-level entry")
+	}
+	if !fast.Has(fp) {
+		t.Fatal("fast level not backfilled")
+	}
+	if n := tier.repairs[0].Load(); n != 0 {
+		t.Fatalf("plain backfill counted as %d repairs, want 0", n)
+	}
+}

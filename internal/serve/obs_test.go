@@ -170,6 +170,10 @@ func TestMetricsNamesMatchDocs(t *testing.T) {
 	srv := New(Config{Parallel: 1, Store: store})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
+	// A fleet client instrumented on the server registry covers the
+	// distiq_fleet_* families the same way cmd/distiqd operators would
+	// see them when fronting a fleet.
+	clientpkg.NewFleet([]string{ts.URL}).Instrument(srv.Metrics())
 	st := submit(t, ts, testSpec)
 	waitDone(t, ts, st.ID)
 	body := scrape(t, ts)
