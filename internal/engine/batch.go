@@ -1,0 +1,438 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"distiq/internal/pipeline"
+	"distiq/internal/trace"
+)
+
+// Lockstep batch simulation. Every job of a sweep that shares a
+// (benchmark, warmup, measured-instructions) group replays the same
+// dynamic trace region — the stream is a pure function of the benchmark —
+// so instead of K workers each making their own pass over the cached
+// records, the batch kernel builds K pipeline machines and steps them
+// round-robin off a single trace pass: one logical Next() per
+// instruction, fanned out to each machine's fetch stage through a
+// trace.Lockstep cursor group. Results are bit-identical to per-job
+// Simulate (same records, same per-machine step sequence, same result
+// assembly), which the equivalence suite and the golden-figure gates pin;
+// only the trace-replay cost changes, from O(points) to O(benchmarks).
+
+// batchQuantum is how many cycles each machine advances per round-robin
+// turn. Machines fetch at most FetchWidth instructions per cycle, so the
+// quantum bounds how far the group's trace cursors can drift apart —
+// tens of thousands of instructions at this setting, a couple of
+// megabytes of sliding window when the group is past the recording cap.
+// Within that ceiling, bigger turns are better: each machine's working
+// set (cache models, predictors, queues) stays resident for the whole
+// turn instead of being evicted by its siblings' every few hundred
+// instructions, which is what makes batched sweep throughput match the
+// per-job path inside the trace cache instead of trailing it.
+const batchQuantum = 8192
+
+// warmupMarks remembers, per (benchmark, warmup) group, how much trace
+// the group's warmup region consumed: the maximum cursor position
+// observed at a machine's warmup boundary. Later batches of the same
+// group bulk-materialize that prefix in one pass (Stream.EnsureRecorded)
+// instead of re-reading it through incremental chunked extensions.
+// Purely a prefetch hint — a stale or evicted mark costs nothing but the
+// incremental path.
+var warmupMarks sync.Map // "bench|w<warmup>" -> uint64
+
+// warmupMarkKey renders a group's checkpoint key.
+func warmupMarkKey(bench string, warmup uint64) string {
+	return fmt.Sprintf("%s|w%d", bench, warmup)
+}
+
+// batchRunInfo reports what one lockstep run did, for the engine's
+// batch metrics.
+type batchRunInfo struct {
+	// warmupMarkUsed says a recorded warmup checkpoint pre-materialized
+	// the group's warmup prefix.
+	warmupMarkUsed bool
+	// generated counts tail instructions generated past the stream's
+	// recording cap — once for the whole group.
+	generated uint64
+	// maxWindow is the high-water length of the past-cap sliding window.
+	maxWindow int
+}
+
+// batchPlan partitions a set of jobs for batch execution: groups holds
+// index sets of co-batchable jobs (same BatchKey, two or more distinct
+// Keys; one index per distinct Key, in input order), singles the indices
+// that resolve on their own, and dups maps each within-group duplicate
+// index to the group member index whose result it shares.
+func batchPlan(jobs []Job) (groups [][]int, singles []int, dups map[int]int) {
+	dups = make(map[int]int)
+	byBatch := make(map[string]int) // BatchKey -> index into candidate list
+	firstOf := make(map[string]int) // BatchKey|Key -> first index
+	var candidates [][]int          // per BatchKey, distinct-key member indices
+	for i, j := range jobs {
+		bk := j.BatchKey()
+		jk := bk + "\x00" + j.Key()
+		if first, ok := firstOf[jk]; ok {
+			dups[i] = first
+			continue
+		}
+		firstOf[jk] = i
+		gi, ok := byBatch[bk]
+		if !ok {
+			gi = len(candidates)
+			byBatch[bk] = gi
+			candidates = append(candidates, nil)
+		}
+		candidates[gi] = append(candidates[gi], i)
+	}
+	for _, c := range candidates {
+		if len(c) >= 2 {
+			groups = append(groups, c)
+		} else {
+			singles = append(singles, c...)
+		}
+	}
+	return groups, singles, dups
+}
+
+// SimulateBatch runs a set of jobs, driving the members of each
+// co-batchable group — same benchmark, warmup and measured instruction
+// count, distinct configurations — in lockstep off a single trace pass,
+// and the rest through Simulate. Results are returned in input order and
+// are bit-identical to per-job Simulate calls; duplicate jobs within a
+// group are simulated once. On failure the first error in input order is
+// returned alongside the partial results (a failed job does not poison
+// its group siblings).
+func SimulateBatch(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	groups, singles, dups := batchPlan(jobs)
+	for _, g := range groups {
+		batch := make([]Job, len(g))
+		for k, i := range g {
+			batch[k] = jobs[i]
+		}
+		rs, es, _ := lockstepGroup(batch)
+		for k, i := range g {
+			results[i], errs[i] = rs[k], es[k]
+		}
+	}
+	for _, i := range singles {
+		results[i], errs[i] = Simulate(jobs[i])
+	}
+	for i, first := range dups {
+		results[i], errs[i] = results[first], errs[first]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// lockstepGroup is the batch kernel: it simulates K jobs of one co-batch
+// group side by side. Each machine follows exactly the step sequence a
+// solo Simulate would give it — step until warmup instructions commit,
+// reset measurement, step until the measured count commits — only the
+// interleaving across machines (which cannot affect any machine's
+// outcome; they share no mutable state) and the trace supply differ.
+// Per-job errors are reported per slot so one invalid configuration does
+// not fail its siblings.
+func lockstepGroup(jobs []Job) ([]Result, []error, batchRunInfo) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var info batchRunInfo
+
+	model, err := trace.ByName(jobs[0].Bench)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs, info
+	}
+	warmup, measured := jobs[0].Opt.Warmup, jobs[0].Opt.Instructions
+	stream := sharedTraces.Stream(model)
+	if mark, ok := warmupMarks.Load(warmupMarkKey(jobs[0].Bench, warmup)); ok {
+		stream.EnsureRecorded(int(mark.(uint64)))
+		info.warmupMarkUsed = true
+	}
+
+	type machine struct {
+		p      *pipeline.Pipeline
+		cursor *trace.LockstepReader
+		warm   bool
+		done   bool
+		// idle guards against a wedged scheme, mirroring Run's check.
+		idle          int
+		lastCommitted uint64
+	}
+	ls := trace.NewLockstep(stream, len(jobs))
+	ms := make([]*machine, len(jobs))
+	live := 0
+	for i, j := range jobs {
+		cursor := ls.Reader(i)
+		p, err := pipeline.New(j.PipelineConfig(), cursor)
+		if err != nil {
+			errs[i] = err
+			cursor.Release()
+			continue
+		}
+		ms[i] = &machine{p: p, cursor: cursor}
+		live++
+	}
+
+	total := live
+	warmDone, markPos := 0, uint64(0)
+	for live > 0 {
+		for i, m := range ms {
+			if m == nil || m.done {
+				continue
+			}
+			for q := 0; q < batchQuantum && !m.done; q++ {
+				if !m.warm {
+					if m.p.Committed() >= warmup {
+						// This machine's warmup boundary: the same reset
+						// Warmup performs, at the same commit count.
+						m.p.BeginMeasurement()
+						m.warm = true
+						m.lastCommitted, m.idle = 0, 0
+						if pos := m.cursor.Pos(); pos > markPos {
+							markPos = pos
+						}
+						if warmDone++; warmDone == total {
+							warmupMarks.LoadOrStore(
+								warmupMarkKey(jobs[i].Bench, warmup), markPos)
+						}
+						continue
+					}
+				} else if m.p.Committed() >= measured {
+					m.done = true
+					m.cursor.Release()
+					live--
+					break
+				}
+				m.p.Step()
+				if c := m.p.Committed(); c == m.lastCommitted {
+					if m.idle++; m.idle > 200000 {
+						panic(fmt.Sprintf("engine: batched machine %s/%s made no progress for %d cycles",
+							jobs[i].Bench, jobs[i].Config.Name, m.idle))
+					}
+				} else {
+					m.lastCommitted, m.idle = c, 0
+				}
+			}
+		}
+	}
+
+	for i, m := range ms {
+		if m == nil {
+			continue
+		}
+		results[i] = assemble(jobs[i], m.p)
+	}
+	info.generated = ls.Generated()
+	info.maxWindow = ls.MaxWindow()
+	return results, errs, info
+}
+
+// member is one engine-owned job of an in-flight batch group.
+type member struct {
+	idx int // index into the submitted job slice
+	key string
+	c   *call
+}
+
+// resolveBatch resolves one co-batchable group inside a batch call. The
+// group's jobs are claimed single-flight style under one lock pass; jobs
+// already cached or owned elsewhere fall back to the normal per-job path
+// (preserving their usual accounting), the store is consulted per job,
+// and whatever remains is simulated by the lockstep kernel on a single
+// worker slot. Store writes, fingerprints and result bytes are identical
+// to the per-job path; the only new accounting is Stats.Batched and the
+// batch metrics.
+func (e *Engine) resolveBatch(ctx context.Context, jobs []Job, idxs []int, emit func(int, Result, error, Source)) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	fallback := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err, src := e.resolve(ctx, jobs[i])
+			emit(i, r, err, src)
+		}()
+	}
+
+	// Claim ownership of every free member in one lock pass; anything
+	// cached, in flight elsewhere, or otherwise unclaimable resolves
+	// through the normal path with its normal accounting.
+	var members []member
+	var fb []int
+	e.mu.Lock()
+	for _, i := range idxs {
+		key := jobs[i].Key()
+		if _, ok := e.memory[key]; ok {
+			fb = append(fb, i)
+			continue
+		}
+		if _, ok := e.inflight[key]; ok {
+			fb = append(fb, i)
+			continue
+		}
+		c := &call{done: make(chan struct{})}
+		e.inflight[key] = c
+		members = append(members, member{idx: i, key: key, c: c})
+	}
+	e.mu.Unlock()
+	for _, i := range fb {
+		fallback(i)
+	}
+	if len(members) == 0 {
+		return
+	}
+	e.bump(func(s *Stats) { s.Requested += int64(len(members)) })
+	e.total.Add(int64(len(members)))
+
+	abandonAll := func(err error) {
+		e.mu.Lock()
+		for _, m := range members {
+			m.c.err = err
+			m.c.abandoned = true
+			delete(e.inflight, m.key)
+		}
+		e.mu.Unlock()
+		for _, m := range members {
+			close(m.c.done)
+			e.bump(func(s *Stats) { s.Canceled++ })
+			e.finish(jobs[m.idx], SourceCanceled)
+			emit(m.idx, Result{}, err, SourceCanceled)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		abandonAll(err)
+		return
+	}
+
+	// Store pre-check, mirroring compute(): disk hits leave the batch.
+	if e.store != nil {
+		kept := members[:0]
+		for _, m := range members {
+			if fp, ok := jobs[m.idx].Fingerprint(); ok {
+				if r, hit := e.store.Get(fp, jobs[m.idx]); hit {
+					e.completeMember(jobs[m.idx], m, r, nil, SourceDisk, emit)
+					continue
+				}
+			}
+			kept = append(kept, m)
+		}
+		members = kept
+		if len(members) == 0 {
+			return
+		}
+	}
+
+	// One worker slot runs the whole lockstep group; cancellation before
+	// the slot is claimed abandons the group (waiters retry), while a
+	// claimed group runs to completion and persists, like any in-flight
+	// job.
+	e.queued.Add(int64(len(members)))
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.queued.Add(-int64(len(members)))
+		abandonAll(ctx.Err())
+		return
+	}
+	e.queued.Add(-int64(len(members)))
+	if err := ctx.Err(); err != nil {
+		<-e.sem
+		abandonAll(err)
+		return
+	}
+	e.running.Add(1)
+	batch := make([]Job, len(members))
+	for i, m := range members {
+		batch[i] = jobs[m.idx]
+	}
+	start := time.Time{}
+	if e.simDur != nil {
+		start = time.Now()
+	}
+	var results []Result
+	var errs []error
+	batched := len(batch) >= 2
+	if batched {
+		var info batchRunInfo
+		results, errs, info = lockstepGroup(batch)
+		e.batchGroups.Add(1)
+		if info.warmupMarkUsed {
+			e.batchWarmupSkips.Add(1)
+		}
+	} else {
+		// A group whittled to one member by cache and store hits is a
+		// plain simulation.
+		r, err := e.sim(batch[0])
+		results, errs = []Result{r}, []error{err}
+	}
+	if e.simDur != nil {
+		e.simDur.Observe(time.Since(start).Seconds())
+	}
+	e.running.Add(-1)
+	<-e.sem
+
+	for i, m := range members {
+		e.completeSimulated(jobs[m.idx], m, results[i], errs[i], batched, emit)
+	}
+}
+
+// completeMember finishes one batch member resolved without simulating
+// (a disk hit), with exactly the accounting the per-job path gives it.
+func (e *Engine) completeMember(job Job, m member, r Result, err error, src Source, emit func(int, Result, error, Source)) {
+	m.c.res, m.c.err = r, err
+	e.mu.Lock()
+	if err == nil {
+		e.memory[m.key] = r
+	}
+	delete(e.inflight, m.key)
+	e.mu.Unlock()
+	close(m.c.done)
+	if src == SourceDisk {
+		e.bump(func(s *Stats) { s.DiskHits++ })
+	}
+	e.finish(job, src)
+	emit(m.idx, r, err, src)
+}
+
+// completeSimulated finishes one batch member the kernel (or the single
+// leftover simulation) produced: cache, persist, account and emit, in
+// the same order and under the same rules as resolve.
+func (e *Engine) completeSimulated(job Job, m member, r Result, err error, batched bool, emit func(int, Result, error, Source)) {
+	if err != nil {
+		err = fmt.Errorf("engine: %s under %s: %w", job.Bench, job.Config.Name, err)
+	}
+	m.c.res, m.c.err = r, err
+	e.mu.Lock()
+	if err == nil {
+		e.memory[m.key] = r
+	}
+	delete(e.inflight, m.key)
+	e.mu.Unlock()
+	close(m.c.done)
+	if err == nil {
+		e.bump(func(s *Stats) {
+			s.Simulated++
+			if batched {
+				s.Batched++
+			}
+		})
+		if fp, ok := job.Fingerprint(); ok && e.store != nil {
+			if perr := e.store.Put(fp, job, r); perr != nil {
+				e.bump(func(s *Stats) { s.DiskErrors++ })
+			}
+		}
+	}
+	e.finish(job, SourceSimulated)
+	emit(m.idx, r, err, SourceSimulated)
+}

@@ -1,0 +1,528 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"distiq/internal/core"
+)
+
+// batchOpt is small enough to keep the equivalence suite fast while
+// exercising warmup boundaries and a few thousand measured commits.
+var batchOpt = Options{Warmup: 1000, Instructions: 4000}
+
+func batchJob(bench string, cfg core.Config, m *Machine) Job {
+	return Job{Bench: bench, Config: cfg, Opt: batchOpt, Machine: m}
+}
+
+// batchConfigs is the pool the property test samples machines from:
+// every scheme family plus machine overrides, so lockstep equivalence is
+// checked across genuinely different microarchitectures sharing one
+// trace.
+func batchConfigs() []Job {
+	return []Job{
+		batchJob("", core.Baseline64(), nil),
+		batchJob("", core.Unbounded(), nil),
+		batchJob("", core.IFDistr(), nil),
+		batchJob("", core.MBDistr(), nil),
+		batchJob("", core.LatFIFOCfg(8, 8, 8, 16), nil),
+		batchJob("", core.Baseline64(), &Machine{ROBSize: 64}),
+		batchJob("", core.MBDistr(), &Machine{PerfectDisambiguation: true}),
+		batchJob("", core.IFDistr(), &Machine{FetchWidth: 4, IssueWidthInt: 4}),
+	}
+}
+
+// TestSimulateBatchMatchesSimulate is the equivalence property suite:
+// random K-config groups run through the lockstep kernel must be
+// bit-identical to per-job Simulate — the Result structs, the distiq-v2
+// store entry bytes, and the sweep Merkle root.
+func TestSimulateBatchMatchesSimulate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	pool := batchConfigs()
+	for _, bench := range []string{"swim", "gcc"} {
+		k := 2 + rng.Intn(3)
+		var jobs []Job
+		for _, pi := range rng.Perm(len(pool))[:k] {
+			j := pool[pi]
+			j.Bench = bench
+			jobs = append(jobs, j)
+		}
+		batch, err := SimulateBatch(jobs)
+		if err != nil {
+			t.Fatalf("%s: SimulateBatch: %v", bench, err)
+		}
+		solo := make([]Result, len(jobs))
+		for i, j := range jobs {
+			if solo[i], err = Simulate(j); err != nil {
+				t.Fatalf("%s: Simulate(%s): %v", bench, j.Config.Name, err)
+			}
+			if !reflect.DeepEqual(batch[i], solo[i]) {
+				t.Errorf("%s under %s: batched Result differs from solo:\nbatch: %+v\nsolo:  %+v",
+					bench, j.Config.Name, batch[i], solo[i])
+			}
+			bb, err1 := entryBytes(j, batch[i])
+			sb, err2 := entryBytes(j, solo[i])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("entryBytes: %v / %v", err1, err2)
+			}
+			if !bytes.Equal(bb, sb) {
+				t.Errorf("%s under %s: store entry bytes differ with batching", bench, j.Config.Name)
+			}
+		}
+		mb, err1 := BuildManifest("equiv", jobs, batch)
+		ms, err2 := BuildManifest("equiv", jobs, solo)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("BuildManifest: %v / %v", err1, err2)
+		}
+		if mb.Root != ms.Root {
+			t.Errorf("%s: Merkle root differs with batching: %s vs %s", bench, mb.Root, ms.Root)
+		}
+	}
+}
+
+// TestSimulateBatchInputOrder checks the public kernel's contract over a
+// mixed submission: several groups, a singleton and an exact duplicate,
+// interleaved — results land at their input indices and the duplicate
+// shares its twin's result.
+func TestSimulateBatchInputOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jobs := []Job{
+		batchJob("swim", core.Baseline64(), nil),
+		batchJob("gcc", core.IFDistr(), nil),
+		batchJob("swim", core.MBDistr(), nil),
+		{Bench: "mcf", Config: core.Baseline64(), Opt: Options{Warmup: 500, Instructions: 2000}},
+		batchJob("swim", core.Baseline64(), nil), // duplicate of jobs[0]
+		batchJob("gcc", core.MBDistr(), nil),
+	}
+	got, err := SimulateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		want, err := Simulate(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("job %d (%s under %s): batched result differs from solo", i, j.Bench, j.Config.Name)
+		}
+	}
+	if !reflect.DeepEqual(got[4], got[0]) {
+		t.Error("duplicate job did not share its twin's result")
+	}
+}
+
+// TestSimulateBatchBadJobDoesNotPoisonGroup: an invalid configuration in
+// a group errors that job only; its siblings simulate normally.
+func TestSimulateBatchBadJobDoesNotPoisonGroup(t *testing.T) {
+	bad := batchJob("swim", core.Baseline64(), &Machine{ROBSize: 3}) // not a power of two
+	good := batchJob("swim", core.MBDistr(), nil)
+	got, err := SimulateBatch([]Job{bad, good})
+	if err == nil {
+		t.Fatal("want an error for the invalid ROB size")
+	}
+	want, err2 := Simulate(good)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !reflect.DeepEqual(got[1], want) {
+		t.Error("sibling of the failed job differs from solo")
+	}
+}
+
+// TestBatchPlanEdges pins the grouping key's edges: jobs differing only
+// in warmup or instruction count must never share a group; jobs
+// differing only in machine override share a group but never a machine
+// slot (they are distinct members, not duplicates); identical jobs
+// deduplicate.
+func TestBatchPlanEdges(t *testing.T) {
+	base := batchJob("swim", core.Baseline64(), nil)
+	warm := base
+	warm.Opt.Warmup++
+	insts := base
+	insts.Opt.Instructions++
+	mach := base
+	mach.Machine = &Machine{ROBSize: 128}
+	other := batchJob("swim", core.MBDistr(), nil)
+
+	groups, singles, dups := batchPlan([]Job{base, warm, insts, other, mach, base})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want exactly one (base+other+mach)", groups)
+	}
+	if !reflect.DeepEqual(groups[0], []int{0, 3, 4}) {
+		t.Errorf("group members = %v, want [0 3 4]", groups[0])
+	}
+	if !reflect.DeepEqual(singles, []int{1, 2}) {
+		t.Errorf("singles = %v, want [1 2] (warmup and insts variants never co-batch)", singles)
+	}
+	if len(dups) != 1 || dups[5] != 0 {
+		t.Errorf("dups = %v, want {5:0}", dups)
+	}
+}
+
+// TestEngineBatchesCoBatchableJobs: the scheduler routes a co-batchable
+// grid through the lockstep kernel — Batched counts every group member,
+// one batch group runs, and the results (and a warm rerun) are exactly
+// the per-job path's.
+func TestEngineBatchesCoBatchableJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jobs := []Job{
+		batchJob("swim", core.Baseline64(), nil),
+		batchJob("swim", core.IFDistr(), nil),
+		batchJob("swim", core.MBDistr(), nil),
+	}
+	e := New(Config{Workers: 2})
+	got, err := e.ResultAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Simulated != 3 || st.Batched != 3 {
+		t.Errorf("stats = %+v, want Simulated=3 Batched=3", st)
+	}
+	if e.BatchGroups() != 1 {
+		t.Errorf("BatchGroups = %d, want 1", e.BatchGroups())
+	}
+	plain := New(Config{NoBatch: true})
+	want, err := plain.ResultAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst := plain.Stats(); pst.Batched != 0 {
+		t.Errorf("NoBatch engine batched %d jobs", pst.Batched)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("batched engine results differ from NoBatch engine results")
+	}
+	// Warm rerun: all memory hits, no new batches.
+	if _, err := e.ResultAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.Stats()
+	if st2.MemoryHits != 3 || st2.Simulated != 3 {
+		t.Errorf("warm rerun stats = %+v, want MemoryHits=3 Simulated=3", st2)
+	}
+}
+
+// TestEngineBatchRespectsStore: a job already persisted leaves its batch
+// as a disk hit; the remaining members still lockstep, and fresh results
+// persist for the next process.
+func TestEngineBatchRespectsStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	jobs := []Job{
+		batchJob("gcc", core.Baseline64(), nil),
+		batchJob("gcc", core.IFDistr(), nil),
+		batchJob("gcc", core.MBDistr(), nil),
+	}
+	seed := New(Config{Workers: 1, CacheDir: dir, NoBatch: true})
+	if _, err := seed.Result(jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Config{Workers: 1, CacheDir: dir})
+	got, err := e.ResultAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.DiskHits != 1 || st.Simulated != 2 || st.Batched != 2 {
+		t.Errorf("stats = %+v, want DiskHits=1 Simulated=2 Batched=2", st)
+	}
+	// Everything is on disk now: a third engine resolves all three warm.
+	warm := New(Config{Workers: 1, CacheDir: dir})
+	again, err := warm.ResultAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wst := warm.Stats(); wst.DiskHits != 3 || wst.Simulated != 0 {
+		t.Errorf("warm engine stats = %+v, want DiskHits=3", wst)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Error("store round-trip changed batched results")
+	}
+}
+
+// TestBatchWarmupCheckpoint: the first batch of a (benchmark, warmup)
+// group records how much trace its warmup consumed; a later batch of the
+// same group finds the checkpoint and bulk-materializes the prefix.
+func TestBatchWarmupCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := Options{Warmup: 1500, Instructions: 3000}
+	mk := func(cfg core.Config, m *Machine) Job {
+		return Job{Bench: "mcf", Config: cfg, Opt: opt, Machine: m}
+	}
+	warmupMarks.Delete(warmupMarkKey("mcf", opt.Warmup))
+
+	e := New(Config{Workers: 1})
+	first := []Job{mk(core.Baseline64(), nil), mk(core.IFDistr(), nil)}
+	if _, err := e.ResultAll(first); err != nil {
+		t.Fatal(err)
+	}
+	mark, ok := warmupMarks.Load(warmupMarkKey("mcf", opt.Warmup))
+	if !ok {
+		t.Fatal("no warmup checkpoint recorded after the first batch")
+	}
+	if pos := mark.(uint64); pos < opt.Warmup {
+		t.Errorf("checkpoint %d insts < warmup commit target %d", pos, opt.Warmup)
+	}
+	if e.BatchWarmupSkips() != 0 {
+		t.Errorf("first batch claims a warmup skip: %d", e.BatchWarmupSkips())
+	}
+	// A different configuration pair, same (benchmark, warmup) group.
+	second := []Job{mk(core.MBDistr(), nil), mk(core.Baseline64(), &Machine{ROBSize: 64})}
+	if _, err := e.ResultAll(second); err != nil {
+		t.Fatal(err)
+	}
+	if e.BatchWarmupSkips() != 1 {
+		t.Errorf("BatchWarmupSkips = %d, want 1", e.BatchWarmupSkips())
+	}
+}
+
+// TestBatchConcurrentSweepsRace: concurrent sweeps sharing one engine
+// with batching enabled — single-flight dedup stays exact (each distinct
+// job simulates once across all sweeps), every sweep sees identical
+// results, and the resolution identity (enqueued == completed) holds
+// once idle. Run under -race in CI.
+func TestBatchConcurrentSweepsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := Options{Warmup: 300, Instructions: 1200}
+	var jobs []Job
+	for _, bench := range []string{"swim", "gcc"} {
+		for _, cfg := range []core.Config{core.Baseline64(), core.IFDistr(), core.MBDistr()} {
+			jobs = append(jobs, Job{Bench: bench, Config: cfg, Opt: opt})
+		}
+	}
+	e := New(Config{Workers: 4})
+
+	const sweeps = 6
+	results := make([][]Result, sweeps)
+	errs := make([]error, sweeps)
+	var wg sync.WaitGroup
+	for s := 0; s < sweeps; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = e.ResultAll(jobs)
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < sweeps; s++ {
+		if errs[s] != nil {
+			t.Fatalf("sweep %d: %v", s, errs[s])
+		}
+		if !reflect.DeepEqual(results[s], results[0]) {
+			t.Errorf("sweep %d results differ", s)
+		}
+	}
+	st := e.Stats()
+	if st.Simulated != int64(len(jobs)) {
+		t.Errorf("Simulated = %d, want %d (single-flight dedup across sweeps)", st.Simulated, len(jobs))
+	}
+	if want := int64(sweeps * len(jobs)); st.Requested != want {
+		t.Errorf("Requested = %d, want %d", st.Requested, want)
+	}
+	if sum := st.Simulated + st.MemoryHits + st.DiskHits + st.Shared + st.Canceled; sum != st.Requested {
+		t.Errorf("resolution identity broken: %d resolved of %d requested (%+v)", sum, st.Requested, st)
+	}
+}
+
+// TestBatchCancelMidSweep: cancelling a batched sweep mid-flight leaves
+// the store consistent — claimed lockstep groups finish and persist,
+// unclaimed ones cancel — and a warm rerun on the same store completes
+// exactly the remainder with zero duplicate simulations.
+func TestBatchCancelMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	opt := Options{Warmup: 300, Instructions: 1200}
+	var jobs []Job
+	for _, bench := range []string{"swim", "gcc", "mcf", "galgel"} {
+		for _, cfg := range []core.Config{core.Baseline64(), core.IFDistr(), core.MBDistr()} {
+			jobs = append(jobs, Job{Bench: bench, Config: cfg, Opt: opt})
+		}
+	}
+
+	e := New(Config{Workers: 1, CacheDir: dir})
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := e.ResultAllCtx(ctx, jobs, func(p Progress) {
+		// Cancel as soon as the first group lands: later groups have not
+		// claimed the single worker slot yet.
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := e.Stats()
+	if st.Canceled == 0 {
+		t.Fatalf("nothing cancelled: %+v", st)
+	}
+	if sum := st.Simulated + st.MemoryHits + st.DiskHits + st.Shared + st.Canceled; sum != st.Requested {
+		t.Errorf("mid-cancel resolution identity broken: %+v", st)
+	}
+
+	// Warm rerun on a fresh engine over the same store: persisted groups
+	// read back as disk hits, the remainder simulates once each.
+	rerun := New(Config{Workers: 1, CacheDir: dir})
+	if _, err := rerun.ResultAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	rst := rerun.Stats()
+	if rst.DiskHits != st.Simulated {
+		t.Errorf("rerun DiskHits = %d, want %d (everything the cancelled run persisted)", rst.DiskHits, st.Simulated)
+	}
+	if rst.Simulated+rst.DiskHits != int64(len(jobs)) {
+		t.Errorf("rerun did not complete exactly the remainder: %+v over %d jobs", rst, len(jobs))
+	}
+}
+
+// TestBatchProgressAccounting: batch-resolved jobs report progress like
+// any other — Done reaches Total exactly, one event per job, and batched
+// jobs surface as SourceSimulated so downstream accounting (streams,
+// manifests, consoles) is unchanged.
+func TestBatchProgressAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jobs := []Job{
+		batchJob("swim", core.Baseline64(), nil),
+		batchJob("swim", core.IFDistr(), nil),
+		batchJob("gcc", core.Baseline64(), nil),
+	}
+	e := New(Config{Workers: 2})
+	var events []Progress
+	if _, err := e.ResultAllProgress(jobs, func(p Progress) { events = append(events, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events, want %d", len(events), len(jobs))
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != len(jobs) {
+			t.Errorf("event %d: Done/Total = %d/%d", i, p.Done, p.Total)
+		}
+		if p.Source != SourceSimulated {
+			t.Errorf("event %d: source %s, want %s", i, p.Source, SourceSimulated)
+		}
+	}
+}
+
+// FuzzBatchGroupKey checks the grouping key's safety contract, seeded
+// from the fingerprint fixtures: two jobs co-batch (share a lockstep
+// group) only when benchmark, warmup and instruction count all agree,
+// and jobs differing only in machine override are never conflated into
+// one machine slot — they keep distinct identities inside the group.
+func FuzzBatchGroupKey(f *testing.F) {
+	// Seeds from TestFingerprintGolden's pinned jobs plus edge mutations.
+	f.Add(uint64(5000), uint64(20000), 0, false, uint64(5000), uint64(20000), 128, true, true)
+	f.Add(uint64(5000), uint64(20000), 128, true, uint64(5000), uint64(20000), 128, true, true)
+	f.Add(uint64(1000), uint64(4000), 0, false, uint64(1001), uint64(4000), 0, false, true)
+	f.Add(uint64(1000), uint64(4000), 0, false, uint64(1000), uint64(4001), 0, false, false)
+	f.Fuzz(func(t *testing.T, w1, n1 uint64, rob1 int, p1 bool,
+		w2, n2 uint64, rob2 int, p2 bool, sameBench bool) {
+		clampPow2 := func(v int) int {
+			switch {
+			case v <= 0:
+				return 0
+			case v < 96:
+				return 64
+			case v < 192:
+				return 128
+			default:
+				return 256
+			}
+		}
+		mk := func(bench string, w, n uint64, rob int, pdis bool) Job {
+			j := Job{Bench: bench, Config: core.Baseline64(),
+				Opt: Options{Warmup: w % 1_000_000, Instructions: n%1_000_000 + 1}}
+			if rob = clampPow2(rob); rob != 0 || pdis {
+				j.Machine = &Machine{ROBSize: rob, PerfectDisambiguation: pdis}
+			}
+			return j
+		}
+		b2 := "swim"
+		if !sameBench {
+			b2 = "gcc"
+		}
+		j1 := mk("swim", w1, n1, rob1, p1)
+		j2 := mk(b2, w2, n2, rob2, p2)
+
+		sameRegion := sameBench && j1.Opt == j2.Opt
+		if (j1.BatchKey() == j2.BatchKey()) != sameRegion {
+			t.Fatalf("BatchKey equality %v, want %v (jobs %+v / %+v)",
+				j1.BatchKey() == j2.BatchKey(), sameRegion, j1, j2)
+		}
+
+		groups, singles, dups := batchPlan([]Job{j1, j2})
+		sameMachine := func(a, b *Machine) bool {
+			na, nb := Machine{}, Machine{}
+			if a != nil {
+				na = *a
+			}
+			if b != nil {
+				nb = *b
+			}
+			return normalizeForTest(na) == normalizeForTest(nb)
+		}
+		switch {
+		case sameRegion && sameMachine(j1.Machine, j2.Machine):
+			// Identical jobs: deduplicated, never two machines.
+			if len(dups) != 1 || len(groups) != 0 || len(singles) != 1 {
+				t.Fatalf("identical jobs not deduped: groups=%v singles=%v dups=%v", groups, singles, dups)
+			}
+		case sameRegion:
+			// Same trace region, different machines: one group of two
+			// distinct members — co-batched, never conflated.
+			if len(groups) != 1 || len(groups[0]) != 2 || len(dups) != 0 {
+				t.Fatalf("distinct machines mis-planned: groups=%v singles=%v dups=%v", groups, singles, dups)
+			}
+			if j1.Key() == j2.Key() {
+				t.Fatalf("distinct machines share a Key: %s", j1.Key())
+			}
+		default:
+			// Different warmup, instruction count or benchmark: never
+			// co-batched.
+			if len(groups) != 0 || len(singles) != 2 {
+				t.Fatalf("non-co-batchable jobs grouped: groups=%v singles=%v dups=%v", groups, singles, dups)
+			}
+		}
+	})
+}
+
+// TestBatchKeyDistinctFromJobKey guards against the grouping key leaking
+// configuration identity (which would stop co-batching) or the job key
+// dropping it (which would conflate results): fmt must keep them
+// separate dimensions.
+func TestBatchKeyDistinctFromJobKey(t *testing.T) {
+	a := batchJob("swim", core.Baseline64(), nil)
+	b := batchJob("swim", core.MBDistr(), nil)
+	if a.BatchKey() != b.BatchKey() {
+		t.Errorf("config leaked into BatchKey: %q vs %q", a.BatchKey(), b.BatchKey())
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct configs share a Key")
+	}
+	if got, want := a.BatchKey(), fmt.Sprintf("swim|w%d|n%d", batchOpt.Warmup, batchOpt.Instructions); got != want {
+		t.Errorf("BatchKey = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"testing"
+
+	"distiq/internal/core"
+)
+
+// benchSweepJobs is one benchmark's point set of the iqbench sweep grid.
+func benchSweepJobs() []Job {
+	opt := Options{Warmup: 20_000, Instructions: 100_000}
+	var jobs []Job
+	for _, cfg := range []core.Config{core.Baseline64(), core.IFDistr(), core.MBDistr()} {
+		for _, rob := range []int{0, 128, 64} {
+			j := Job{Bench: "gcc", Config: cfg, Opt: opt}
+			if rob != 0 {
+				j.Machine = &Machine{ROBSize: rob}
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+func BenchmarkSweepLockstep(b *testing.B) {
+	jobs := benchSweepJobs()
+	WarmTraces([]string{"gcc"}, jobs[0].Opt.Warmup+jobs[0].Opt.Instructions+4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs, _ := lockstepGroup(jobs); errs[0] != nil {
+			b.Fatal(errs[0])
+		}
+	}
+}
+
+func BenchmarkSweepSolo(b *testing.B) {
+	jobs := benchSweepJobs()
+	WarmTraces([]string{"gcc"}, jobs[0].Opt.Warmup+jobs[0].Opt.Instructions+4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, err := Simulate(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

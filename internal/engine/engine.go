@@ -38,6 +38,15 @@ type Config struct {
 	// resolution counters mirroring Stats, queue depth, worker occupancy
 	// and a simulate-latency histogram.
 	Obs *obs.Registry
+	// NoBatch disables the lockstep batch kernel: co-batchable jobs
+	// inside one batch call (same benchmark, warmup and measured
+	// instruction count, distinct configurations) then resolve
+	// independently instead of stepping side by side off a single trace
+	// pass. Batching changes replay cost only — results, store bytes,
+	// fingerprints and manifests are bit-identical either way — and is
+	// also disabled implicitly when Simulate is overridden (a stub
+	// cannot lockstep).
+	NoBatch bool
 }
 
 // Stats counts how the engine resolved the jobs requested so far. A
@@ -61,6 +70,11 @@ type Stats struct {
 	// Shared requests waited on an identical in-flight job instead of
 	// re-simulating (single-flight deduplication).
 	Shared int64
+	// Batched is the subset of Simulated that ran in a lockstep batch
+	// group (two or more machines stepped off a single trace pass). It
+	// is informational — batched jobs are counted under Simulated like
+	// any other — so the resolution identity above is unchanged.
+	Batched int64
 	// Canceled requests were abandoned by context cancellation before a
 	// result was available (the job itself may still finish if another
 	// requester owns it).
@@ -94,6 +108,10 @@ type Engine struct {
 	progress func(Progress)
 	store    ResultStore
 	sem      chan struct{}
+	// batch enables the lockstep kernel for co-batchable jobs inside one
+	// batch call: set when the engine runs the real simulator and
+	// Config.NoBatch is unset.
+	batch bool
 
 	mu       sync.Mutex
 	memory   map[string]Result
@@ -109,8 +127,14 @@ type Engine struct {
 	// later needs no engine restart.
 	queued  atomic.Int64
 	running atomic.Int64
-	// simDur, when non-nil, records the wall time of each simulator run.
+	// simDur, when non-nil, records the wall time of each simulator run
+	// (a lockstep group counts as one run).
 	simDur *obs.Histogram
+	// batchGroups and batchWarmupSkips feed the batch metrics: lockstep
+	// groups run, and batches whose warmup trace prefix a recorded
+	// checkpoint pre-materialized.
+	batchGroups      atomic.Int64
+	batchWarmupSkips atomic.Int64
 
 	// statsMu guards stats so Stats() snapshots are consistent even while
 	// a cancellation is racing resolution (no half-counted request).
@@ -136,6 +160,7 @@ func New(cfg Config) *Engine {
 		sem:      make(chan struct{}, workers),
 		memory:   make(map[string]Result),
 		inflight: make(map[string]*call),
+		batch:    !cfg.NoBatch && cfg.Simulate == nil,
 	}
 	if cfg.Store != nil {
 		e.store = cfg.Store
@@ -382,6 +407,14 @@ func (e *Engine) ResultAllCtx(ctx context.Context, jobs []Job, progress func(Pro
 // invocations are serialized, so callers may update shared state without
 // locking. ResultStream returns once every job has been emitted.
 //
+// Unless batching is disabled, co-batchable jobs of the call — same
+// benchmark, warmup and measured instruction count, distinct
+// configurations — are simulated by the lockstep batch kernel: K
+// machines stepped side by side off a single trace pass on one worker
+// slot. Results, store writes, fingerprints and manifests are
+// bit-identical to independent resolution; only Stats.Batched and the
+// batch metrics record the difference.
+//
 // Cancellation semantics match ResultAllCtx: after ctx is cancelled,
 // unscheduled jobs emit promptly with ctx.Err() and SourceCanceled while
 // in-flight jobs finish and persist, so the store stays consistent and a
@@ -389,17 +422,53 @@ func (e *Engine) ResultAllCtx(ctx context.Context, jobs []Job, progress func(Pro
 func (e *Engine) ResultStream(ctx context.Context, jobs []Job, emit func(i int, r Result, err error, src Source)) {
 	var wg sync.WaitGroup
 	var emitMu sync.Mutex
-	for i, j := range jobs {
+	semit := func(i int, r Result, err error, src Source) {
+		if emit != nil {
+			emitMu.Lock()
+			emit(i, r, err, src)
+			emitMu.Unlock()
+		}
+	}
+	single := func(i int) {
 		wg.Add(1)
-		go func(i int, j Job) {
+		go func() {
 			defer wg.Done()
-			r, err, src := e.resolve(ctx, j)
-			if emit != nil {
-				emitMu.Lock()
-				emit(i, r, err, src)
-				emitMu.Unlock()
-			}
-		}(i, j)
+			r, err, src := e.resolve(ctx, jobs[i])
+			semit(i, r, err, src)
+		}()
+	}
+	if !e.batch {
+		for i := range jobs {
+			single(i)
+		}
+		wg.Wait()
+		return
+	}
+	groups, singles, dups := batchPlan(jobs)
+	for _, i := range singles {
+		single(i)
+	}
+	// Within-call duplicates resolve through the normal path: they find
+	// their twin in flight (or already cached) and account as Shared or
+	// a cache hit, exactly as concurrent identical submissions do today.
+	for i := range dups {
+		single(i)
+	}
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g []int) {
+			defer wg.Done()
+			e.resolveBatch(ctx, jobs, g, semit)
+		}(g)
 	}
 	wg.Wait()
 }
+
+// BatchGroups returns how many lockstep batch groups the engine has run —
+// the number of shared trace passes that replaced per-job ones.
+func (e *Engine) BatchGroups() int64 { return e.batchGroups.Load() }
+
+// BatchWarmupSkips returns how many lockstep groups found a recorded
+// warmup checkpoint and bulk-materialized their warmup trace prefix
+// instead of re-reading it incrementally.
+func (e *Engine) BatchWarmupSkips() int64 { return e.batchWarmupSkips.Load() }

@@ -103,6 +103,18 @@ func (j Job) Key() string {
 		j.machineCanon())
 }
 
+// BatchKey identifies a job's lockstep co-batch group: jobs agree exactly
+// when they replay the same dynamic trace region — same benchmark, same
+// warmup and same measured instruction count. Configurations and machine
+// overrides deliberately do not enter the key: varying them is what a
+// batch is for, and each distinct Key() in a group gets its own machine.
+// Jobs with equal BatchKeys but different warmup or instruction counts
+// cannot exist (the counts are the key), so co-batched machines always
+// share phase boundaries.
+func (j Job) BatchKey() string {
+	return fmt.Sprintf("%s|w%d|n%d", j.Bench, j.Opt.Warmup, j.Opt.Instructions)
+}
+
 // Fingerprint returns the content address used by the persistent store: a
 // hex SHA-256 of the job's canonical identity. It reports false for jobs
 // that cannot be safely persisted (Custom scheme configurations).
@@ -179,7 +191,13 @@ func simulate(j Job, cached bool) (Result, error) {
 	}
 	p.Warmup(j.Opt.Warmup)
 	p.Run(j.Opt.Instructions)
+	return assemble(j, p), nil
+}
 
+// assemble builds a job's Result from its finished pipeline — the single
+// path Simulate and the lockstep batch kernel share, so a batched job's
+// Result is constructed exactly as a solo one's.
+func assemble(j Job, p *pipeline.Pipeline) Result {
 	st := p.Stats()
 	res := Result{Stats: st}
 	res.Benchmark = j.Bench
@@ -195,5 +213,5 @@ func simulate(j Job, cached bool) (Result, error) {
 	res.Breakdown.Add(res.IntBreakdown)
 	res.Breakdown.Add(res.FPBreakdown)
 	res.IQEnergy = res.Breakdown.Total()
-	return res, nil
+	return res
 }

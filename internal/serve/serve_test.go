@@ -270,6 +270,7 @@ func TestIntrospectionEndpoints(t *testing.T) {
 		MemoryHits int64 `json:"memory_hits"`
 		DiskHits   int64 `json:"disk_hits"`
 		Shared     int64 `json:"shared"`
+		Batched    int64 `json:"batched"`
 		DiskErrors int64 `json:"disk_errors"`
 	}
 	getJSON(t, ts, "/v1/stats", &stats)
@@ -279,7 +280,7 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	want := srv.Stats()
 	got := engine.Stats{Requested: stats.Requested, Simulated: stats.Simulated,
 		MemoryHits: stats.MemoryHits, DiskHits: stats.DiskHits,
-		Shared: stats.Shared, DiskErrors: stats.DiskErrors}
+		Shared: stats.Shared, Batched: stats.Batched, DiskErrors: stats.DiskErrors}
 	if got != want {
 		t.Fatalf("Stats() = %+v, /v1/stats = %+v", want, got)
 	}

@@ -154,6 +154,30 @@ func (s *Stream) extend(pos int) ([]record, *Generator) {
 	return recs, nil
 }
 
+// EnsureRecorded extends the recorded prefix to at least n instructions
+// (clamped to the recording cap) in one pass under one lock acquisition.
+// Warmup checkpointing uses it: once a batch has learned how much trace a
+// (benchmark, warmup) group's warmup region consumes, later batches of
+// the group bulk-materialize that prefix up front instead of re-reading
+// it through incremental chunked extensions.
+func (s *Stream) EnsureRecorded(n int) {
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := *s.recs.Load()
+	if len(recs) >= n {
+		return
+	}
+	var in isa.Inst
+	for len(recs) < n {
+		s.gen.Next(&in)
+		recs = append(recs, encode(&in))
+	}
+	s.recs.Store(&recs)
+}
+
 // Reader replays a stream from the beginning. It implements the
 // pipeline's Fetcher interface and is not safe for concurrent use (use
 // one Reader per pipeline); distinct Readers of one Stream are safe

@@ -1,0 +1,160 @@
+package trace
+
+import "distiq/internal/isa"
+
+// A Lockstep drives K replay cursors over one model's dynamic stream in a
+// single trace pass. Within a Stream's recorded prefix each cursor decodes
+// the shared immutable records directly (the prefix is materialized once,
+// whoever reads it); past the recording cap — where independent
+// StreamReaders would each fork a private generator and regenerate the
+// tail K times — the Lockstep forks exactly one generator and buffers its
+// output in a sliding window that every cursor consumes, so the tail too
+// is generated once. Keeping the cursors close together (the batch kernel
+// steps its machines round-robin) bounds the window to a few chunks,
+// which also keeps the hot records resident in L1/L2 while K machines
+// fan out one instruction each per Next.
+//
+// Replay through a Lockstep is bit-exact with a fresh Generator and with
+// independent StreamReaders: decode is the same, and the shared tail
+// generator is the same deterministic clone a lone reader would fork.
+//
+// A Lockstep and its readers belong to one goroutine (the batch kernel
+// interleaves K machines on one worker); only the underlying Stream is
+// safe for concurrent use.
+type Lockstep struct {
+	s       *Stream
+	readers []*LockstepReader
+
+	// Past-cap state: one shared fork plus a sliding window of its
+	// output. winBase is the absolute stream index of win[0].
+	gen     *Generator
+	win     []record
+	winBase uint64
+
+	generated uint64 // tail instructions generated (exactly once each)
+	maxWin    int    // high-water window length, for tests and reports
+	sinceTrim int    // appends since the last trim scan
+}
+
+// NewLockstep returns a Lockstep over s with k cursors, all positioned at
+// the start of the stream.
+func NewLockstep(s *Stream, k int) *Lockstep {
+	l := &Lockstep{s: s}
+	recs := *s.recs.Load()
+	l.readers = make([]*LockstepReader, k)
+	for i := range l.readers {
+		l.readers[i] = &LockstepReader{l: l, recs: recs}
+	}
+	return l
+}
+
+// Reader returns cursor i of the group.
+func (l *Lockstep) Reader(i int) *LockstepReader { return l.readers[i] }
+
+// Generated returns how many tail instructions (past the stream's
+// recording cap) have been generated. Each is generated exactly once,
+// however many cursors consumed it — the single-pass guarantee.
+func (l *Lockstep) Generated() uint64 { return l.generated }
+
+// MaxWindow returns the high-water length of the past-cap sliding window.
+func (l *Lockstep) MaxWindow() int { return l.maxWin }
+
+// LockstepReader is one cursor of a Lockstep group. It implements the
+// pipeline's Fetcher interface. Like a StreamReader it is not safe for
+// concurrent use; unlike independent StreamReaders, all cursors of one
+// Lockstep share a single goroutine.
+type LockstepReader struct {
+	l        *Lockstep
+	recs     []record // committed-prefix snapshot
+	pos      uint64   // next stream index to deliver
+	released bool
+}
+
+// Next fills in with the next dynamic instruction, exactly as the model's
+// Generator would.
+func (r *LockstepReader) Next(in *isa.Inst) {
+	if r.pos < uint64(len(r.recs)) {
+		r.recs[r.pos].decode(r.pos, in)
+		r.pos++
+		return
+	}
+	r.l.next(r, in)
+}
+
+// Pos returns the cursor's stream position: how many instructions it has
+// consumed.
+func (r *LockstepReader) Pos() uint64 { return r.pos }
+
+// Release marks the cursor finished. A released cursor no longer holds
+// back the sliding window's trim point; the batch kernel releases each
+// machine's cursor as the machine completes so an early finisher cannot
+// pin the window open for the stragglers.
+func (r *LockstepReader) Release() { r.released = true }
+
+// next is the slow path: the cursor ran off its prefix snapshot. Refresh
+// or extend the shared stream while under the recording cap; past it,
+// fork the single shared tail generator and serve from the window.
+func (l *Lockstep) next(r *LockstepReader, in *isa.Inst) {
+	if l.gen == nil {
+		recs, gen := l.s.extend(int(r.pos))
+		if gen == nil {
+			// The stream grew (here or on another reader's behalf):
+			// resume the lock-free prefix fast path.
+			r.recs = recs
+			r.recs[r.pos].decode(r.pos, in)
+			r.pos++
+			return
+		}
+		// First cursor past the cap: the one fork the whole group shares.
+		l.gen = gen
+		l.winBase = uint64(len(recs))
+	}
+	if r.pos < l.winBase {
+		// Another cursor forked the tail while this one was still inside
+		// the recorded prefix; its snapshot just predates the last extend.
+		r.recs = *l.s.recs.Load()
+		r.recs[r.pos].decode(r.pos, in)
+		r.pos++
+		return
+	}
+	for l.winBase+uint64(len(l.win)) <= r.pos {
+		l.gen.Next(in)
+		l.win = append(l.win, encode(in))
+		l.generated++
+	}
+	if len(l.win) > l.maxWin {
+		l.maxWin = len(l.win)
+	}
+	l.win[r.pos-l.winBase].decode(r.pos, in)
+	r.pos++
+	l.sinceTrim++
+	if l.sinceTrim >= growChunk {
+		l.sinceTrim = 0
+		l.trim()
+	}
+}
+
+// trim drops the window prefix every live cursor has passed, sliding the
+// buffer down in place so lockstep consumption holds the window — and the
+// group's working set — at a few chunks regardless of stream length.
+func (l *Lockstep) trim() {
+	min := ^uint64(0)
+	for _, r := range l.readers {
+		if r.released {
+			continue
+		}
+		if r.pos < min {
+			min = r.pos
+		}
+	}
+	if min > l.winBase+uint64(len(l.win)) {
+		min = l.winBase + uint64(len(l.win)) // every cursor released
+	}
+	cut := min - l.winBase
+	if cut == 0 {
+		return
+	}
+	n := copy(l.win, l.win[cut:])
+	l.win = l.win[:n]
+	l.winBase += cut
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"distiq/internal/isa"
+)
+
+// TestLockstepMatchesGenerator is the lockstep cursor's bit-exactness
+// gate: K cursors consuming one stream at different, randomly interleaved
+// rates — crossing the recording cap into the shared-window tail — must
+// each produce the exact instruction sequence of a private Generator.
+func TestLockstepMatchesGenerator(t *testing.T) {
+	model, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap, perReader, k = 10_000, 30_000, 5
+	s := newStream(model, cap)
+	ls := NewLockstep(s, k)
+
+	refs := make([]*Generator, k)
+	taken := make([]int, k)
+	for i := range refs {
+		refs[i] = NewGenerator(model)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var got, want isa.Inst
+	for done := 0; done < k; {
+		i := rng.Intn(k)
+		if taken[i] >= perReader {
+			continue
+		}
+		n := 1 + rng.Intn(64)
+		if rem := perReader - taken[i]; n > rem {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			ls.Reader(i).Next(&got)
+			refs[i].Next(&want)
+			if got != want {
+				t.Fatalf("reader %d inst %d: got %+v, want %+v", i, taken[i]+j, got, want)
+			}
+		}
+		if taken[i] += n; taken[i] == perReader {
+			ls.Reader(i).Release()
+			done++
+		}
+	}
+
+	// The single-pass guarantee: every tail instruction past the cap was
+	// generated exactly once for the whole group, not once per cursor.
+	if want := uint64(perReader - cap); ls.Generated() != want {
+		t.Errorf("generated %d tail insts, want %d (single pass)", ls.Generated(), want)
+	}
+	if s.Forks() != 1 {
+		t.Errorf("stream forked %d generators, want 1 shared fork", s.Forks())
+	}
+}
+
+// TestLockstepWindowBounded checks that cursors consuming in lockstep
+// hold the past-cap sliding window to a few chunks however long the tail
+// runs, and that releasing a finished cursor unpins the trim point.
+func TestLockstepWindowBounded(t *testing.T) {
+	model, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap, total, k = 4096, 80_000, 4
+	s := newStream(model, cap)
+	ls := NewLockstep(s, k)
+
+	var in isa.Inst
+	// Round-robin in modest quanta, like the batch kernel: cursor drift
+	// stays under one quantum times the fan-out.
+	for pos := 0; pos < total; pos += 128 {
+		for i := 0; i < k; i++ {
+			// Cursor k-1 finishes at half distance and is released.
+			if i == k-1 && pos >= total/2 {
+				continue
+			}
+			for j := 0; j < 128; j++ {
+				ls.Reader(i).Next(&in)
+			}
+			if i == k-1 && pos+128 >= total/2 {
+				ls.Reader(i).Release()
+			}
+		}
+	}
+	if max := ls.MaxWindow(); max > 3*growChunk {
+		t.Errorf("window high-water %d records, want <= %d under lockstep stepping", max, 3*growChunk)
+	}
+}
+
+// TestEnsureRecorded pins the warmup-checkpoint primitive: one call bulk-
+// materializes the requested prefix (clamped to the cap) and the records
+// are the generator's, bit for bit.
+func TestEnsureRecorded(t *testing.T) {
+	model, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStream(model, 5000)
+	s.EnsureRecorded(3000)
+	if got := s.Len(); got != 3000 {
+		t.Fatalf("recorded %d insts, want 3000", got)
+	}
+	// Clamped to the recording cap, not beyond.
+	s.EnsureRecorded(9000)
+	if got := s.Len(); got != 5000 {
+		t.Fatalf("recorded %d insts, want cap 5000", got)
+	}
+	// Shorter requests are no-ops.
+	s.EnsureRecorded(100)
+	if got := s.Len(); got != 5000 {
+		t.Fatalf("recorded %d insts after shrink request, want 5000", got)
+	}
+
+	ref := NewGenerator(model)
+	r := s.NewReader()
+	var got, want isa.Inst
+	for i := 0; i < 5000; i++ {
+		r.Next(&got)
+		ref.Next(&want)
+		if got != want {
+			t.Fatalf("inst %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
