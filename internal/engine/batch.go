@@ -14,38 +14,48 @@ import (
 // (benchmark, warmup, measured-instructions) group replays the same
 // dynamic trace region — the stream is a pure function of the benchmark —
 // so instead of K workers each making their own pass over the cached
-// records, the batch kernel builds K pipeline machines and steps them
-// round-robin off a single trace pass: one logical Next() per
-// instruction, fanned out to each machine's fetch stage through a
-// trace.Lockstep cursor group. Results are bit-identical to per-job
+// records, the batch kernel builds K pipeline machines and steps them —
+// always advancing the one whose trace cursor is furthest behind — off a
+// single trace pass: one logical Next() per instruction, fanned out to
+// each machine's fetch stage through a trace.Lockstep cursor group. Results are bit-identical to per-job
 // Simulate (same records, same per-machine step sequence, same result
 // assembly), which the equivalence suite and the golden-figure gates pin;
 // only the trace-replay cost changes, from O(points) to O(benchmarks).
 
-// batchQuantum is how many cycles each machine advances per round-robin
-// turn. Machines fetch at most FetchWidth instructions per cycle, so the
-// quantum bounds how far the group's trace cursors can drift apart —
-// tens of thousands of instructions at this setting, a couple of
-// megabytes of sliding window when the group is past the recording cap.
-// Within that ceiling, bigger turns are better: each machine's working
-// set (cache models, predictors, queues) stays resident for the whole
-// turn instead of being evicted by its siblings' every few hundred
-// instructions, which is what makes batched sweep throughput match the
-// per-job path inside the trace cache instead of trailing it.
+// batchQuantum is how many cycles a machine advances per scheduling
+// turn. The kernel always runs the machine whose trace cursor is
+// furthest behind, so a cursor can overtake the group's frontier by at
+// most one turn's fetch — FetchWidth x batchQuantum instructions, a
+// couple of megabytes of sliding window when the group is past the
+// recording cap. Crucially the bound is independent of run length and
+// of how unequal the group's IPCs are: a fast machine that leaps ahead
+// simply is not scheduled again until the stragglers catch up (plain
+// round-robin, by contrast, grants equal cycles, and drift would grow
+// as the IPC gap times elapsed cycles). Within that ceiling, bigger
+// turns are better: each machine's working set (cache models,
+// predictors, queues) stays resident for the whole turn instead of
+// being evicted by its siblings' every few hundred instructions, which
+// is what makes batched sweep throughput match the per-job path inside
+// the trace cache instead of trailing it.
 const batchQuantum = 8192
 
-// warmupMarks remembers, per (benchmark, warmup) group, how much trace
-// the group's warmup region consumed: the maximum cursor position
-// observed at a machine's warmup boundary. Later batches of the same
-// group bulk-materialize that prefix in one pass (Stream.EnsureRecorded)
+// warmupMarks remembers, per (model, warmup) group, how much trace the
+// group's warmup region consumed: the maximum cursor position observed
+// at a machine's warmup boundary. Later batches of the same group
+// bulk-materialize that prefix in one pass (Stream.EnsureRecorded)
 // instead of re-reading it through incremental chunked extensions.
-// Purely a prefetch hint — a stale or evicted mark costs nothing but the
-// incremental path.
-var warmupMarks sync.Map // "bench|w<warmup>" -> uint64
+// Purely a prefetch hint — a stale or evicted mark costs nothing but
+// the incremental path. The key carries the model's full structural
+// identity (trace.ModelKey), not just its name: user-constructed models
+// may reuse a name with different parameters, and a mark from a
+// same-named different model would pre-materialize a wrong-sized
+// prefix. Process-global on purpose — every engine draws streams from
+// the same sharedTraces, so the marks describe the same streams.
+var warmupMarks sync.Map // trace.ModelKey + "|w<warmup>" -> uint64
 
 // warmupMarkKey renders a group's checkpoint key.
-func warmupMarkKey(bench string, warmup uint64) string {
-	return fmt.Sprintf("%s|w%d", bench, warmup)
+func warmupMarkKey(m trace.Model, warmup uint64) string {
+	return fmt.Sprintf("%s|w%d", trace.ModelKey(m), warmup)
 }
 
 // batchRunInfo reports what one lockstep run did, for the engine's
@@ -155,7 +165,7 @@ func lockstepGroup(jobs []Job) ([]Result, []error, batchRunInfo) {
 	}
 	warmup, measured := jobs[0].Opt.Warmup, jobs[0].Opt.Instructions
 	stream := sharedTraces.Stream(model)
-	if mark, ok := warmupMarks.Load(warmupMarkKey(jobs[0].Bench, warmup)); ok {
+	if mark, ok := warmupMarks.Load(warmupMarkKey(model, warmup)); ok {
 		stream.EnsureRecorded(int(mark.(uint64)))
 		info.warmupMarkUsed = true
 	}
@@ -187,42 +197,50 @@ func lockstepGroup(jobs []Job) ([]Result, []error, batchRunInfo) {
 	total := live
 	warmDone, markPos := 0, uint64(0)
 	for live > 0 {
-		for i, m := range ms {
-			if m == nil || m.done {
+		// Run the live machine whose trace cursor is furthest behind for
+		// one quantum; see batchQuantum for why this bounds cursor drift
+		// (and so the lockstep window) regardless of the group's IPC
+		// spread.
+		i := -1
+		for j, c := range ms {
+			if c == nil || c.done {
 				continue
 			}
-			for q := 0; q < batchQuantum && !m.done; q++ {
-				if !m.warm {
-					if m.p.Committed() >= warmup {
-						// This machine's warmup boundary: the same reset
-						// Warmup performs, at the same commit count.
-						m.p.BeginMeasurement()
-						m.warm = true
-						m.lastCommitted, m.idle = 0, 0
-						if pos := m.cursor.Pos(); pos > markPos {
-							markPos = pos
-						}
-						if warmDone++; warmDone == total {
-							warmupMarks.LoadOrStore(
-								warmupMarkKey(jobs[i].Bench, warmup), markPos)
-						}
-						continue
+			if i < 0 || c.cursor.Pos() < ms[i].cursor.Pos() {
+				i = j
+			}
+		}
+		m := ms[i]
+		for q := 0; q < batchQuantum && !m.done; q++ {
+			if !m.warm {
+				if m.p.Committed() >= warmup {
+					// This machine's warmup boundary: the same reset
+					// Warmup performs, at the same commit count.
+					m.p.BeginMeasurement()
+					m.warm = true
+					m.lastCommitted, m.idle = 0, 0
+					if pos := m.cursor.Pos(); pos > markPos {
+						markPos = pos
 					}
-				} else if m.p.Committed() >= measured {
-					m.done = true
-					m.cursor.Release()
-					live--
-					break
-				}
-				m.p.Step()
-				if c := m.p.Committed(); c == m.lastCommitted {
-					if m.idle++; m.idle > 200000 {
-						panic(fmt.Sprintf("engine: batched machine %s/%s made no progress for %d cycles",
-							jobs[i].Bench, jobs[i].Config.Name, m.idle))
+					if warmDone++; warmDone == total {
+						warmupMarks.LoadOrStore(warmupMarkKey(model, warmup), markPos)
 					}
-				} else {
-					m.lastCommitted, m.idle = c, 0
+					continue
 				}
+			} else if m.p.Committed() >= measured {
+				m.done = true
+				m.cursor.Release()
+				live--
+				break
+			}
+			m.p.Step()
+			if c := m.p.Committed(); c == m.lastCommitted {
+				if m.idle++; m.idle > 200000 {
+					panic(fmt.Sprintf("engine: batched machine %s/%s made no progress for %d cycles",
+						jobs[i].Bench, jobs[i].Config.Name, m.idle))
+				}
+			} else {
+				m.lastCommitted, m.idle = c, 0
 			}
 		}
 	}

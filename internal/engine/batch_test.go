@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"distiq/internal/core"
+	"distiq/internal/trace"
 )
 
 // batchOpt is small enough to keep the equivalence suite fast while
@@ -269,14 +270,18 @@ func TestBatchWarmupCheckpoint(t *testing.T) {
 	mk := func(cfg core.Config, m *Machine) Job {
 		return Job{Bench: "mcf", Config: cfg, Opt: opt, Machine: m}
 	}
-	warmupMarks.Delete(warmupMarkKey("mcf", opt.Warmup))
+	model, err := trace.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmupMarks.Delete(warmupMarkKey(model, opt.Warmup))
 
 	e := New(Config{Workers: 1})
 	first := []Job{mk(core.Baseline64(), nil), mk(core.IFDistr(), nil)}
 	if _, err := e.ResultAll(first); err != nil {
 		t.Fatal(err)
 	}
-	mark, ok := warmupMarks.Load(warmupMarkKey("mcf", opt.Warmup))
+	mark, ok := warmupMarks.Load(warmupMarkKey(model, opt.Warmup))
 	if !ok {
 		t.Fatal("no warmup checkpoint recorded after the first batch")
 	}
@@ -293,6 +298,25 @@ func TestBatchWarmupCheckpoint(t *testing.T) {
 	}
 	if e.BatchWarmupSkips() != 1 {
 		t.Errorf("BatchWarmupSkips = %d, want 1", e.BatchWarmupSkips())
+	}
+}
+
+// TestWarmupMarkKeyUsesModelIdentity: the checkpoint key carries the
+// model's full structural identity, so a user-constructed model reusing
+// a built-in name with different parameters can never pick up (or
+// plant) another model's mark, and different warmups never collide.
+func TestWarmupMarkKeyUsesModelIdentity(t *testing.T) {
+	a, err := trace.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Seed++ // same name, different stream
+	if warmupMarkKey(a, 1000) == warmupMarkKey(b, 1000) {
+		t.Error("same-named models with different parameters share a warmup mark key")
+	}
+	if warmupMarkKey(a, 1000) == warmupMarkKey(a, 1001) {
+		t.Error("different warmups share a warmup mark key")
 	}
 }
 

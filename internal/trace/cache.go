@@ -262,11 +262,13 @@ func NewCache(maxInsts int) *Cache {
 	return &Cache{cap: maxInsts, entries: make(map[string]*cacheEntry)}
 }
 
-// modelKey is the structural identity of a model: two models with equal
+// ModelKey is the structural identity of a model: two models with equal
 // keys generate identical streams. Names alone would suffice for the
 // built-in benchmark registry, but user-constructed models may reuse a
-// name with different parameters.
-func modelKey(m Model) string {
+// name with different parameters, so stream caching — and anything else
+// that attaches state to "the stream of this model", like the engine's
+// warmup checkpoints — keys on the full structure.
+func ModelKey(m Model) string {
 	return fmt.Sprintf("%s|%d|%d|%v", m.Name, m.Suite, m.Seed, m.Loops)
 }
 
@@ -274,7 +276,7 @@ func modelKey(m Model) string {
 // use and evicting least-recently-used other streams while the total
 // recorded size exceeds the capacity.
 func (c *Cache) Stream(m Model) *Stream {
-	key := modelKey(m)
+	key := ModelKey(m)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tick++

@@ -10,7 +10,7 @@ import "distiq/internal/isa"
 // tail K times — the Lockstep forks exactly one generator and buffers its
 // output in a sliding window that every cursor consumes, so the tail too
 // is generated once. Keeping the cursors close together (the batch kernel
-// steps its machines round-robin) bounds the window to a few chunks,
+// always steps the furthest-behind machine) bounds the window to a few chunks,
 // which also keeps the hot records resident in L1/L2 while K machines
 // fan out one instruction each per Next.
 //
@@ -150,10 +150,13 @@ func (l *Lockstep) trim() {
 	if min > l.winBase+uint64(len(l.win)) {
 		min = l.winBase + uint64(len(l.win)) // every cursor released
 	}
-	cut := min - l.winBase
-	if cut == 0 {
+	if min <= l.winBase {
+		// Nothing to drop — including the pre-cap case, where a live
+		// cursor is still inside the recorded prefix (pos < winBase) and
+		// the subtraction below would wrap.
 		return
 	}
+	cut := min - l.winBase
 	n := copy(l.win, l.win[cut:])
 	l.win = l.win[:n]
 	l.winBase += cut

@@ -93,6 +93,88 @@ func TestLockstepWindowBounded(t *testing.T) {
 	}
 }
 
+// TestLockstepTrimWithCursorInPrefix is the regression test for a trim
+// underflow: a cursor more than a trim interval past the recording cap
+// while a sibling is still inside the recorded prefix (pos < winBase)
+// must not panic — the window simply cannot trim until every live
+// cursor has entered it. The stalled cursor must then replay the whole
+// stream bit-exactly, prefix and window alike.
+func TestLockstepTrimWithCursorInPrefix(t *testing.T) {
+	model, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 2048
+	total := cap + 2*growChunk + 17 // at least two trim scans past the cap
+	s := newStream(model, cap)
+	ls := NewLockstep(s, 2)
+
+	ref := NewGenerator(model)
+	var got, want isa.Inst
+	for i := 0; i < total; i++ {
+		ls.Reader(0).Next(&got)
+		ref.Next(&want)
+		if got != want {
+			t.Fatalf("leading cursor inst %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	ref2 := NewGenerator(model)
+	for i := 0; i < total; i++ {
+		ls.Reader(1).Next(&got)
+		ref2.Next(&want)
+		if got != want {
+			t.Fatalf("trailing cursor inst %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestLockstepWindowBoundedUnequalRates pins the batch kernel's
+// scheduling policy at the trace layer: driving the furthest-behind
+// cursor first holds the past-cap window to roughly one turn plus one
+// trim interval even when cursors consume at wildly different per-turn
+// rates (a 16x IPC spread here) — the bound depends on the turn size,
+// not on run length or rate imbalance.
+func TestLockstepWindowBoundedUnequalRates(t *testing.T) {
+	model, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap, total, quantum = 4096, 200_000, 512
+	s := newStream(model, cap)
+	rates := []int{quantum, quantum / 4, quantum / 16}
+	ls := NewLockstep(s, len(rates))
+	pos := make([]int, len(rates))
+
+	var in isa.Inst
+	for {
+		sel := -1
+		for i := range pos {
+			if pos[i] >= total {
+				continue
+			}
+			if sel < 0 || pos[i] < pos[sel] {
+				sel = i
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		n := rates[sel]
+		if rem := total - pos[sel]; n > rem {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			ls.Reader(sel).Next(&in)
+		}
+		if pos[sel] += n; pos[sel] >= total {
+			ls.Reader(sel).Release()
+		}
+	}
+	if max := ls.MaxWindow(); max > 2*growChunk {
+		t.Errorf("window high-water %d records under furthest-behind stepping, want <= %d", max, 2*growChunk)
+	}
+}
+
 // TestEnsureRecorded pins the warmup-checkpoint primitive: one call bulk-
 // materializes the requested prefix (clamped to the cap) and the records
 // are the generator's, bit for bit.
