@@ -210,6 +210,42 @@ func TestRunDumpSpecRoundTrips(t *testing.T) {
 	}
 }
 
+// TestDumpSpecByteIdenticalRoundTrip pins the -dump-spec contract:
+// whatever legacy flag combination generated the spec, parsing the
+// dumped JSON back through the strict parser and re-rendering it must
+// reproduce the dumped bytes exactly. A drift here would mean the CLI
+// emits fields the parser normalizes away (or vice versa), so dumped
+// specs would stop being canonical.
+func TestDumpSpecByteIdenticalRoundTrip(t *testing.T) {
+	combos := [][]string{
+		{"-dump-spec", "-scheme", "MixBUFF", "-queues", "4,8", "-entries", "8,16",
+			"-chains", "0,8", "-suite", "fp", "-distr"},
+		{"-dump-spec", "-scheme", "IssueFIFO", "-queues", "8", "-entries", "8",
+			"-chains", "0", "-bench", "swim,gzip"},
+		{"-dump-spec", "-scheme", "LatFIFO", "-queues", "2,4,8", "-entries", "32",
+			"-chains", "0", "-intq", "8x8", "-n", "30000", "-warmup", "5000"},
+	}
+	for _, argv := range combos {
+		var out, errw bytes.Buffer
+		if _, err := run(argv, &out, &errw); err != nil {
+			t.Fatalf("%v: %v", argv, err)
+		}
+		spec, err := distiq.ParseScenarioSpec(out.Bytes())
+		if err != nil {
+			t.Fatalf("%v: dumped spec does not parse back: %v\n%s", argv, err, out.String())
+		}
+		again, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("%v: %v", argv, err)
+		}
+		// -dump-spec prints the JSON plus a trailing newline.
+		if want := append(again, '\n'); !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("%v: round trip is not byte-identical:\ndumped:\n%s\nre-rendered:\n%s",
+				argv, out.String(), want)
+		}
+	}
+}
+
 func TestRunOtherFormats(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "grid.json")

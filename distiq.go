@@ -143,6 +143,7 @@ import (
 	"distiq/internal/scenario"
 	"distiq/internal/serve"
 	"distiq/internal/sim"
+	"distiq/internal/study"
 	"distiq/internal/trace"
 )
 
@@ -464,6 +465,64 @@ var (
 	ParseScenarioSpec = scenario.ParseSpec
 	// LoadScenarioSpec reads and parses a JSON grid spec file.
 	LoadScenarioSpec = scenario.LoadSpec
+)
+
+// Study types: comparative experiment orchestration on top of the
+// Client layer. A study — built with NewStudy or parsed from strict
+// JSON — runs unchanged on any Client (Local, Remote, Fleet) in one of
+// three modes: ablation (baseline + named feature-toggle variants,
+// emitted as a deterministic variant × metric delta table), replication
+// (variants fanned across RNG seeds with mean/stddev/95% CI columns)
+// and frontier (an adaptive energy-vs-IPC Pareto search over a discrete
+// configuration space). Tables use fixed-point formatting, so documents
+// are byte-identical across substrates and warm-cache reruns.
+//
+//	spec := distiq.NewStudy("scheme-ablation").
+//		Ablation().
+//		WithSuites("fp").
+//		WithVariants(
+//			distiq.StudyVariant{Name: "proposed", Scheme: "MB_distr"},
+//			distiq.StudyVariant{Name: "small-rob", ROB: 128},
+//		)
+//	res, err := distiq.RunStudy(ctx, cl, spec)
+//	if err != nil { ... }
+//	fmt.Print(res.CSV())
+type (
+	// StudySpec is a strict-JSON study description (ablation,
+	// replication or frontier); build one with NewStudy or parse with
+	// ParseStudySpec/LoadStudySpec.
+	StudySpec = study.Spec
+	// StudyVariant is one named feature-toggle set applied over a
+	// study's baseline.
+	StudyVariant = study.Variant
+	// StudySpace is the discrete configuration space a frontier search
+	// explores.
+	StudySpace = study.Space
+	// StudyResult is a finished study's deterministic table (CSV, JSON
+	// and markdown emitters) plus trajectory and resolution counts.
+	StudyResult = study.Result
+	// StudyRound summarizes one frontier search round.
+	StudyRound = study.Round
+	// StudyOptions tunes a study run (per-point streaming hook).
+	StudyOptions = study.Options
+	// StudyPointUpdate is one resolved point of a running study.
+	StudyPointUpdate = study.PointUpdate
+)
+
+// Study entry points.
+var (
+	// NewStudy starts a builder-style study spec.
+	NewStudy = study.New
+	// ParseStudySpec decodes a JSON study spec (strict: unknown fields
+	// are errors).
+	ParseStudySpec = study.ParseSpec
+	// LoadStudySpec reads and parses a JSON study spec file.
+	LoadStudySpec = study.LoadSpec
+	// RunStudy executes a study against any Client and returns its
+	// table.
+	RunStudy = study.Run
+	// RunStudyOpts is RunStudy with explicit options.
+	RunStudyOpts = study.RunOpts
 )
 
 // Domains of the split issue logic.

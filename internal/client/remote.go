@@ -267,6 +267,9 @@ func SpecForJob(j Job) (*scenario.Spec, error) {
 			WithBenchmarks(j.Bench).
 			WithScheme(ax).
 			WithLengths(j.Opt.Warmup, j.Opt.Instructions)
+		if j.Seed != 0 {
+			spec.WithSeeds(j.Seed)
+		}
 		applyMachineAxes(spec, j.Machine)
 		grid, err := spec.Expand()
 		if err != nil || grid.Size() != 1 {

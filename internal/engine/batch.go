@@ -156,7 +156,9 @@ func lockstepGroup(jobs []Job) ([]Result, []error, batchRunInfo) {
 	errs := make([]error, len(jobs))
 	var info batchRunInfo
 
-	model, err := trace.ByName(jobs[0].Bench)
+	// BatchKey carries the replication seed, so the whole group shares
+	// one (possibly seed-perturbed) model and one trace pass.
+	model, err := jobs[0].model()
 	if err != nil {
 		for i := range errs {
 			errs[i] = err

@@ -55,6 +55,35 @@ type Job struct {
 	// widths, functional units, memory latencies, perfect
 	// disambiguation); nil is the paper's Table 1 machine.
 	Machine *Machine
+	// Seed is the replication axis: a non-zero value perturbs the
+	// benchmark model's RNG seed so the job replays a statistically
+	// independent instruction stream of the same workload. Zero is the
+	// canonical stream, and leaves the job's identity — canonical string,
+	// fingerprint, batch group — exactly as it was before the axis
+	// existed, so warm distiq-v2 stores stay valid.
+	Seed uint64
+}
+
+// seedMix spreads a replication seed across the model seed's bits. It is
+// odd, so distinct replication seeds map to distinct perturbations
+// (multiplication by an odd constant is a bijection mod 2^64) and no
+// non-zero seed collapses onto the canonical stream.
+const seedMix = 0x9e3779b97f4a7c15
+
+// model resolves the job's benchmark model with the replication seed
+// applied — the one derivation both the solo simulate path and the
+// lockstep batch kernel use. Seed zero returns the canonical model
+// unchanged; trace.ModelKey includes the model seed, so perturbed
+// models get distinct shared-trace streams and warmup marks for free.
+func (j Job) model() (trace.Model, error) {
+	m, err := trace.ByName(j.Bench)
+	if err != nil {
+		return m, err
+	}
+	if j.Seed != 0 {
+		m.Seed ^= j.Seed * seedMix
+	}
+	return m, nil
 }
 
 // storeVersion is folded into job fingerprints and written into every
@@ -79,11 +108,18 @@ func (j Job) canonical() (string, bool) {
 	if j.Config.Int.Custom != nil || j.Config.FP.Custom != nil {
 		return "", false
 	}
-	return fmt.Sprintf("distiq-v%d|%s|%s|w%d|n%d|int:%s|fp:%s|distr:%t|mach:%s",
+	c := fmt.Sprintf("distiq-v%d|%s|%s|w%d|n%d|int:%s|fp:%s|distr:%t|mach:%s",
 		storeVersion, j.Bench, j.Config.Name,
 		j.Opt.Warmup, j.Opt.Instructions,
 		domCanon(j.Config.Int), domCanon(j.Config.FP),
-		j.Config.DistributedFU, j.machineCanon()), true
+		j.Config.DistributedFU, j.machineCanon())
+	// The seed segment appears only when set: every pre-existing
+	// (seed-zero) fingerprint — and with it every warm store entry and
+	// golden manifest root — is untouched by the axis.
+	if j.Seed != 0 {
+		c += fmt.Sprintf("|seed:%d", j.Seed)
+	}
+	return c, true
 }
 
 // machineCanon renders the job's full-machine identity segment.
@@ -98,9 +134,13 @@ func (j Job) Key() string {
 	if c, ok := j.canonical(); ok {
 		return c
 	}
-	return fmt.Sprintf("custom|%s|%s|w%d|n%d|mach:%s",
+	k := fmt.Sprintf("custom|%s|%s|w%d|n%d|mach:%s",
 		j.Bench, j.Config.Name, j.Opt.Warmup, j.Opt.Instructions,
 		j.machineCanon())
+	if j.Seed != 0 {
+		k += fmt.Sprintf("|seed:%d", j.Seed)
+	}
+	return k
 }
 
 // BatchKey identifies a job's lockstep co-batch group: jobs agree exactly
@@ -110,9 +150,16 @@ func (j Job) Key() string {
 // batch is for, and each distinct Key() in a group gets its own machine.
 // Jobs with equal BatchKeys but different warmup or instruction counts
 // cannot exist (the counts are the key), so co-batched machines always
-// share phase boundaries.
+// share phase boundaries. The replication seed enters the key — jobs
+// under different seeds replay different instruction streams and must
+// never share a trace pass — with the zero seed rendered as the historic
+// suffix-free form.
 func (j Job) BatchKey() string {
-	return fmt.Sprintf("%s|w%d|n%d", j.Bench, j.Opt.Warmup, j.Opt.Instructions)
+	k := fmt.Sprintf("%s|w%d|n%d", j.Bench, j.Opt.Warmup, j.Opt.Instructions)
+	if j.Seed != 0 {
+		k += fmt.Sprintf("|s%d", j.Seed)
+	}
+	return k
 }
 
 // Fingerprint returns the content address used by the persistent store: a
@@ -175,7 +222,7 @@ func SimulateUncached(j Job) (Result, error) {
 }
 
 func simulate(j Job, cached bool) (Result, error) {
-	model, err := trace.ByName(j.Bench)
+	model, err := j.model()
 	if err != nil {
 		return Result{}, err
 	}

@@ -53,12 +53,14 @@ type Point struct {
 	Bench   string
 	Config  core.Config
 	Machine *engine.Machine
-	Values  []string
+	// Seed is the point's replication seed (0 = canonical stream).
+	Seed   uint64
+	Values []string
 }
 
 // Job returns the engine job the point resolves to.
 func (p Point) Job(opt engine.Options) engine.Job {
-	return engine.Job{Bench: p.Bench, Config: p.Config, Opt: opt, Machine: p.Machine}
+	return engine.Job{Bench: p.Bench, Config: p.Config, Opt: opt, Machine: p.Machine, Seed: p.Seed}
 }
 
 // Grid is the expanded cross-product of a Spec's axes, in deterministic
@@ -168,6 +170,12 @@ func (s *Spec) Expand() (*Grid, error) {
 	if len(pdis) > 0 {
 		axes = append(axes, "perfect_disambig")
 	}
+	seeds := s.Seeds
+	if len(seeds) > 0 {
+		axes = append(axes, "seed")
+	} else {
+		seeds = []uint64{0}
+	}
 
 	// machines enumerates the cross-product of the active machine axes
 	// (and the ablation switch) as override structs plus rendered
@@ -226,10 +234,16 @@ func (s *Spec) Expand() (*Grid, error) {
 				strconv.Itoa(sp.entries), strconv.Itoa(sp.chains),
 			}
 			base = append(base, mp.values...)
-			for _, bench := range benches {
-				g.Points = append(g.Points, Point{
-					Bench: bench, Config: sp.cfg, Machine: mp.m, Values: base,
-				})
+			for _, seed := range seeds {
+				vals := base
+				if len(s.Seeds) > 0 {
+					vals = append(append([]string(nil), base...), strconv.FormatUint(seed, 10))
+				}
+				for _, bench := range benches {
+					g.Points = append(g.Points, Point{
+						Bench: bench, Config: sp.cfg, Machine: mp.m, Seed: seed, Values: vals,
+					})
+				}
 			}
 		}
 	}

@@ -75,6 +75,13 @@ type Spec struct {
 	// PerfectDisambiguation sweeps the Section 5 ablation.
 	PerfectDisambiguation []bool `json:"perfect_disambiguation,omitempty"`
 
+	// Seeds is the replication axis: each value reruns the whole grid
+	// with the benchmark models' RNG seeds perturbed by that value, so a
+	// point is measured over statistically independent instruction
+	// streams of the same workload. Seed 0 is the canonical stream (the
+	// one an empty axis runs); values must be unique.
+	Seeds []uint64 `json:"seeds,omitempty"`
+
 	// Warmup and Instructions size every simulation of the grid.
 	// Unset means the defaults (10000 and 60000); an explicit 0 warmup
 	// is honored, while 0 instructions is rejected.
@@ -155,6 +162,14 @@ func (s *Spec) WithMemLatency(c ...int) *Spec { s.MemLatency = append(s.MemLaten
 // ablation.
 func (s *Spec) WithPerfectDisambiguation(v ...bool) *Spec {
 	s.PerfectDisambiguation = append(s.PerfectDisambiguation, v...)
+	return s
+}
+
+// WithSeeds appends replication seeds: every grid point reruns once per
+// seed over a seed-perturbed instruction stream (0 = the canonical
+// stream).
+func (s *Spec) WithSeeds(seeds ...uint64) *Spec {
+	s.Seeds = append(s.Seeds, seeds...)
 	return s
 }
 
@@ -294,6 +309,13 @@ func (s *Spec) Validate() error {
 	if len(s.PerfectDisambiguation) == 2 &&
 		s.PerfectDisambiguation[0] == s.PerfectDisambiguation[1] {
 		return fmt.Errorf("scenario: axis perfect_disambiguation repeats a value")
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s.Seeds {
+		if seen[v] {
+			return fmt.Errorf("scenario: axis seeds repeats value %d", v)
+		}
+		seen[v] = true
 	}
 	if s.Instructions != nil && *s.Instructions == 0 {
 		return fmt.Errorf("scenario: instructions must be positive (a zero-length run measures nothing)")

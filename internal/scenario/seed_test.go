@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeedsAxisExpansion checks the replication axis crosses the grid,
+// renders its own column after perfect_disambig, and lands on Job.Seed.
+func TestSeedsAxisExpansion(t *testing.T) {
+	spec := New("rep").
+		WithBenchmarks("swim", "gzip").
+		WithNamed("IQ_64_64").
+		WithSeeds(0, 1, 2).
+		WithLengths(100, 1000)
+	grid, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := grid.Size(), 2*3; got != want {
+		t.Fatalf("grid size %d, want %d", got, want)
+	}
+	if grid.Axes[len(grid.Axes)-1] != "seed" {
+		t.Fatalf("last axis %q, want seed", grid.Axes[len(grid.Axes)-1])
+	}
+	// Seed is outside benchmarks: points group by seed then bench.
+	wantSeeds := []uint64{0, 0, 1, 1, 2, 2}
+	for i, p := range grid.Points {
+		if p.Seed != wantSeeds[i] {
+			t.Fatalf("point %d seed %d, want %d", i, p.Seed, wantSeeds[i])
+		}
+		if got := p.Values[len(p.Values)-1]; got != map[uint64]string{0: "0", 1: "1", 2: "2"}[p.Seed] {
+			t.Fatalf("point %d seed column %q for seed %d", i, got, p.Seed)
+		}
+		if j := p.Job(spec.Opt()); j.Seed != p.Seed {
+			t.Fatalf("point %d job seed %d, want %d", i, j.Seed, p.Seed)
+		}
+	}
+}
+
+// TestSeedsAxisAbsent pins the legacy shape: no seeds axis means no seed
+// column and seed-zero jobs.
+func TestSeedsAxisAbsent(t *testing.T) {
+	spec := New("plain").WithBenchmarks("swim").WithNamed("IQ_64_64").WithLengths(100, 1000)
+	grid, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ax := range grid.Axes {
+		if ax == "seed" {
+			t.Fatal("seed column present without a seeds axis")
+		}
+	}
+	if grid.Points[0].Seed != 0 {
+		t.Fatal("default seed not zero")
+	}
+}
+
+// TestSeedsValidation rejects repeated seeds and round-trips the axis
+// through JSON.
+func TestSeedsValidation(t *testing.T) {
+	spec := New("dup").WithNamed("IQ_64_64").WithSeeds(1, 1)
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "seeds repeats") {
+		t.Fatalf("duplicate seeds not rejected: %v", err)
+	}
+
+	spec = New("rt").WithBenchmarks("swim").WithNamed("IQ_64_64").WithSeeds(0, 5)
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Seeds) != 2 || back.Seeds[0] != 0 || back.Seeds[1] != 5 {
+		t.Fatalf("seeds did not round-trip: %v", back.Seeds)
+	}
+}

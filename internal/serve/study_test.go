@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"distiq/internal/client"
+	"distiq/internal/study"
+)
+
+// testStudySpec is the canonical ablation every study e2e test submits:
+// baseline vs a smaller ROB vs the distributed MixBUFF scheme, two
+// benchmarks, tiny lengths.
+const testStudySpec = `{
+  "name": "e2e-ablation",
+  "mode": "ablation",
+  "benchmarks": ["swim", "gzip"],
+  "variants": [
+    {"name": "small-rob", "rob": 128},
+    {"name": "mb-distr", "scheme": "MB_distr"}
+  ],
+  "warmup": 1000,
+  "instructions": 2000
+}`
+
+// submitStudy POSTs a study spec and decodes the 202 status document.
+func submitStudy(t *testing.T, ts *httptest.Server, spec string) StudyStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/studies", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit study: status %d, body %s", resp.StatusCode, body)
+	}
+	var st StudyStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit study: bad status body %s: %v", body, err)
+	}
+	if resp.Header.Get("Location") != "/v1/studies/"+st.ID {
+		t.Fatalf("submit study: Location = %q for id %s", resp.Header.Get("Location"), st.ID)
+	}
+	return st
+}
+
+// waitStudyDone polls a study's status until it reaches a terminal
+// state.
+func waitStudyDone(t *testing.T, ts *httptest.Server, id string) StudyStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/studies/" + id + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st StudyStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == string(stateDone) || st.State == string(stateFailed) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("study %s still %s after 30s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fetchStudy GETs a finished study's body in one format, returning body
+// and content type.
+func fetchStudy(t *testing.T, ts *httptest.Server, id, format string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/studies/" + id + "?format=" + format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch study %s (%s): status %d, body %s", id, format, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestStudyEndToEnd submits an ablation study, waits for completion and
+// checks every contract at once: the emitted table matches a Local
+// study.Run of the same spec byte-for-byte, a warm resubmission
+// simulates nothing and emits the same bytes, the stream replays every
+// point and closes with the manifest, and the manifest endpoint agrees
+// with it.
+func TestStudyEndToEnd(t *testing.T) {
+	srv := New(Config{Parallel: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st := submitStudy(t, ts, testStudySpec)
+	cold := waitStudyDone(t, ts, st.ID)
+	if cold.State != string(stateDone) {
+		t.Fatalf("cold study: %+v", cold)
+	}
+	if cold.Simulated == 0 {
+		t.Fatal("cold study simulated nothing")
+	}
+	if cold.Points != 6 || cold.Done != 6 {
+		t.Fatalf("cold study points=%d done=%d, want 6/6 (3 variants x 2 benchmarks)", cold.Points, cold.Done)
+	}
+
+	// The HTTP body must match the in-process study runner exactly.
+	spec, err := study.ParseSpec([]byte(testStudySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := study.Run(context.Background(), client.NewLocal(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range study.Formats {
+		body, ctype := fetchStudy(t, ts, st.ID, format)
+		wantCType, _ := study.ContentType(format)
+		if ctype != wantCType {
+			t.Errorf("format %s: content type %q, want %q", format, ctype, wantCType)
+		}
+		var buf bytes.Buffer
+		if err := local.Emit(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		if body != buf.String() {
+			t.Errorf("format %s differs between HTTP and local:\n--- http ---\n%s--- local ---\n%s", format, body, buf.String())
+		}
+	}
+
+	// Warm resubmission: zero simulations, byte-identical table.
+	coldCSV, _ := fetchStudy(t, ts, st.ID, "csv")
+	st2 := submitStudy(t, ts, testStudySpec)
+	warm := waitStudyDone(t, ts, st2.ID)
+	if warm.State != string(stateDone) || warm.Simulated != 0 {
+		t.Fatalf("warm study: %+v", warm)
+	}
+	warmCSV, _ := fetchStudy(t, ts, st2.ID, "csv")
+	if coldCSV != warmCSV {
+		t.Fatalf("warm study CSV differs:\n%s\nvs\n%s", coldCSV, warmCSV)
+	}
+
+	// The stream replays every point in plan order and closes with the
+	// manifest.
+	resp, err := http.Get(ts.URL + "/v1/studies/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var events []StudyEvent
+	for sc.Scan() {
+		var ev StudyEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 7 {
+		t.Fatalf("stream delivered %d events, want 6 points + done", len(events))
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.Points != 6 || last.Manifest == nil {
+		t.Fatalf("terminal event: %+v", last)
+	}
+	stages := map[string]int{}
+	for i, ev := range events[:6] {
+		if ev.Seq != i {
+			t.Fatalf("event %d carries seq %d", i, ev.Seq)
+		}
+		if ev.Result == nil {
+			t.Fatalf("event %d has no result", i)
+		}
+		stages[ev.Stage]++
+	}
+	for _, want := range []string{"baseline", "small-rob", "mb-distr"} {
+		if stages[want] != 2 {
+			t.Fatalf("stage %q delivered %d points, want 2 (stages: %v)", want, stages[want], stages)
+		}
+	}
+
+	// The manifest endpoint serves the same document the stream carried.
+	mresp, err := http.Get(ts.URL + "/v1/studies/" + st.ID + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: status %d, body %s", mresp.StatusCode, mbody)
+	}
+	var m struct {
+		Root   string `json:"root"`
+		Points int    `json:"points"`
+	}
+	if err := json.Unmarshal(mbody, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Root != last.Manifest.Root || m.Points != 6 {
+		t.Fatalf("manifest endpoint root=%s points=%d, stream carried root=%s", m.Root, m.Points, last.Manifest.Root)
+	}
+
+	// The study registry is visible in the list endpoint.
+	lresp, err := http.Get(ts.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Studies []StudyStatus `json:"studies"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Studies) != 2 {
+		t.Fatalf("list has %d studies, want 2", len(list.Studies))
+	}
+}
+
+// TestStudyFrontierOverHTTP runs an adaptive frontier search through the
+// service: the table must match a Local run byte-for-byte and the status
+// document's point count must follow the search (planned is unknown up
+// front).
+func TestStudyFrontierOverHTTP(t *testing.T) {
+	const frontierSpec = `{
+  "name": "e2e-frontier",
+  "mode": "frontier",
+  "benchmarks": ["swim"],
+  "space": {"scheme": "LatFIFO", "queues": [2, 4], "entries": [8, 16]},
+  "budget": 4,
+  "batch": 2,
+  "warmup": 1000,
+  "instructions": 2000
+}`
+	srv := New(Config{Parallel: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st := submitStudy(t, ts, frontierSpec)
+	fin := waitStudyDone(t, ts, st.ID)
+	if fin.State != string(stateDone) {
+		t.Fatalf("frontier study: %+v", fin)
+	}
+	if fin.Done == 0 || fin.Points != fin.Done {
+		t.Fatalf("frontier status points=%d done=%d, want equal and positive", fin.Points, fin.Done)
+	}
+
+	spec, err := study.ParseSpec([]byte(frontierSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := study.Run(context.Background(), client.NewLocal(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := fetchStudy(t, ts, st.ID, "json")
+	var buf bytes.Buffer
+	if err := local.Emit(&buf, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if body != buf.String() {
+		t.Fatalf("frontier JSON differs between HTTP and local:\n%s\nvs\n%s", body, buf.String())
+	}
+	if !strings.Contains(body, `"trajectory"`) {
+		t.Fatalf("frontier JSON carries no trajectory:\n%s", body)
+	}
+}
+
+// TestStudyBadSpec pins the admission error contract: malformed and
+// invalid specs answer 400 with the bad_spec code and never occupy a
+// queue slot.
+func TestStudyBadSpec(t *testing.T) {
+	srv := New(Config{Parallel: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, spec := range []string{
+		`not json`,
+		`{"mode":"nope"}`,
+		`{"mode":"ablation"}`,
+		`{"mode":"ablation","variants":[{"name":"v","rob":100}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/studies", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %q: status %d, body %s", spec, resp.StatusCode, body)
+		}
+		var ae apiError
+		if err := json.Unmarshal(body, &ae); err != nil || ae.Code != "bad_spec" {
+			t.Fatalf("spec %q: body %s (%v)", spec, body, err)
+		}
+	}
+	if ids := srv.StudyIDs(); len(ids) != 0 {
+		t.Fatalf("rejected specs occupied the registry: %v", ids)
+	}
+}
+
+// TestStudyMetrics checks the distiq_study_* families appear in the
+// scrape (at zero before any study, moving after one).
+func TestStudyMetrics(t *testing.T) {
+	srv := New(Config{Parallel: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	before := scrape()
+	for _, fam := range []string{
+		"distiq_study_runs_total", "distiq_study_active",
+		"distiq_study_points_total", "distiq_study_frontier_rounds_total",
+	} {
+		if !strings.Contains(before, "# TYPE "+fam) {
+			t.Errorf("family %s missing from scrape before any study", fam)
+		}
+	}
+	st := submitStudy(t, ts, testStudySpec)
+	if fin := waitStudyDone(t, ts, st.ID); fin.State != string(stateDone) {
+		t.Fatalf("study: %+v", fin)
+	}
+	after := scrape()
+	for _, want := range []string{
+		`distiq_study_runs_total{state="accepted"} 1`,
+		`distiq_study_runs_total{state="done"} 1`,
+		`distiq_study_points_total 6`,
+	} {
+		if !strings.Contains(after, want) {
+			t.Errorf("scrape missing %q after one study", want)
+		}
+	}
+}

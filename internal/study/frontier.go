@@ -1,0 +1,308 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"distiq/internal/scenario"
+)
+
+// spaceAxis is one searchable dimension of a frontier space: a named,
+// ordered value list. A candidate is an index vector into these lists;
+// its neighbors differ by one step along one axis.
+type spaceAxis struct {
+	name string
+	vals []int
+}
+
+// spaceAxes returns the space's populated axes in canonical order
+// (queues, entries, chains, rob). Empty lists contribute no axis — the
+// scenario defaults apply and no output column appears.
+func (s *Spec) spaceAxes() []spaceAxis {
+	var out []spaceAxis
+	add := func(name string, vals []int) {
+		if len(vals) > 0 {
+			out = append(out, spaceAxis{name, vals})
+		}
+	}
+	add("queues", s.Space.Queues)
+	add("entries", s.Space.Entries)
+	add("chains", s.Space.Chains)
+	add("rob", s.Space.ROB)
+	return out
+}
+
+// candidate is one point of the search space: an index per axis.
+type candidate []int
+
+// key renders the candidate as a map key.
+func (c candidate) key() string {
+	s := ""
+	for _, i := range c {
+		s += strconv.Itoa(i) + ","
+	}
+	return s
+}
+
+// less orders candidates lexicographically — the canonical order every
+// deterministic traversal of the search uses.
+func (c candidate) less(o candidate) bool {
+	for i := range c {
+		if c[i] != o[i] {
+			return c[i] < o[i]
+		}
+	}
+	return false
+}
+
+// evaluated is a measured candidate.
+type evaluated struct {
+	cand   candidate
+	config string
+	ipc    float64
+	energy float64
+}
+
+// dominates reports Pareto dominance: at least as good on both
+// objectives (maximize IPC, minimize energy) and strictly better on one.
+func (a evaluated) dominates(b evaluated) bool {
+	return a.ipc >= b.ipc && a.energy <= b.energy &&
+		(a.ipc > b.ipc || a.energy < b.energy)
+}
+
+// paretoFront filters the evaluated set down to its non-dominated
+// members, in canonical candidate order.
+func paretoFront(all []evaluated) []evaluated {
+	var front []evaluated
+	for i, a := range all {
+		dominated := false
+		for j, b := range all {
+			if i != j && b.dominates(a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].cand.less(front[j].cand) })
+	return front
+}
+
+// candidateSpec renders one candidate as a single-configuration scenario
+// spec over the study's benchmarks.
+func (s *Spec) candidateSpec(axes []spaceAxis, c candidate) *scenario.Spec {
+	ax := scenario.SchemeAxis{Scheme: s.Space.Scheme, IntQ: s.Space.IntQ, Distr: s.Space.Distr}
+	rob := 0
+	for i, a := range axes {
+		v := a.vals[c[i]]
+		switch a.name {
+		case "queues":
+			ax.Queues = []int{v}
+		case "entries":
+			ax.Entries = []int{v}
+		case "chains":
+			ax.Chains = []int{v}
+		case "rob":
+			rob = v
+		}
+	}
+	sp := scenario.New("")
+	sp.Suites = append([]string(nil), s.Suites...)
+	sp.Benchmarks = append([]string(nil), s.Benchmarks...)
+	sp.WithScheme(ax)
+	if rob != 0 {
+		sp.WithROB(rob)
+	}
+	sp.Warmup, sp.Instructions = s.Warmup, s.Instructions
+	return sp
+}
+
+// seedCandidates returns the coarse starting grid: the cross-product of
+// each axis's {first, middle, last} indices (deduplicated), in canonical
+// order, truncated to the budget.
+func seedCandidates(axes []spaceAxis, budget int) []candidate {
+	picks := make([][]int, len(axes))
+	for i, a := range axes {
+		n := len(a.vals)
+		set := []int{0}
+		if mid := (n - 1) / 2; mid != 0 {
+			set = append(set, mid)
+		}
+		if n-1 != 0 && n-1 != (n-1)/2 {
+			set = append(set, n-1)
+		}
+		picks[i] = set
+	}
+	out := []candidate{{}}
+	for _, set := range picks {
+		var next []candidate
+		for _, c := range out {
+			for _, idx := range set {
+				next = append(next, append(append(candidate(nil), c...), idx))
+			}
+		}
+		out = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	if len(out) > budget {
+		out = out[:budget]
+	}
+	return out
+}
+
+// neighbors proposes the next batch: unvisited one-step moves from the
+// current frontier, walking frontier members in canonical order and axes
+// in declaration order (-1 before +1), capped at batch proposals.
+func neighbors(front []evaluated, axes []spaceAxis, visited map[string]bool, batch int) []candidate {
+	var out []candidate
+	proposed := map[string]bool{}
+	for _, f := range front {
+		for i, a := range axes {
+			for _, step := range []int{-1, +1} {
+				idx := f.cand[i] + step
+				if idx < 0 || idx >= len(a.vals) {
+					continue
+				}
+				n := append(candidate(nil), f.cand...)
+				n[i] = idx
+				k := n.key()
+				if visited[k] || proposed[k] {
+					continue
+				}
+				proposed[k] = true
+				out = append(out, n)
+				if len(out) == batch {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFrontier performs the adaptive Pareto search: a coarse seed grid,
+// then rounds of one-step neighbors of the current non-dominated set,
+// stopping on budget exhaustion, an empty proposal set, or a round that
+// improves nothing. Every step is deterministic: candidates evaluate in
+// canonical order and a re-proposed configuration resolves from the
+// engine's content-addressed cache rather than re-simulating.
+func (r *runner) runFrontier(spec *Spec) error {
+	axes := spec.spaceAxes()
+	budget := spec.budget()
+	batch := spec.batch()
+
+	visited := map[string]bool{}
+	var all []evaluated
+
+	evalBatch := func(stage string, cands []candidate) error {
+		for _, c := range cands {
+			visited[c.key()] = true
+			sp := spec.candidateSpec(axes, c)
+			results, err := r.sweep(stage, sp)
+			if err != nil {
+				return err
+			}
+			s := summarize(results)
+			all = append(all, evaluated{cand: c, config: s.config, ipc: s.ipc, energy: s.energy})
+		}
+		return nil
+	}
+
+	seeds := seedCandidates(axes, budget)
+	if err := evalBatch("round-0", seeds); err != nil {
+		return err
+	}
+	front := paretoFront(all)
+	r.res.Trajectory = append(r.res.Trajectory, Round{
+		Round: 0, Proposed: len(seeds), Evaluated: len(seeds), Frontier: len(front),
+	})
+
+	frontKeys := func(f []evaluated) map[string]bool {
+		keys := make(map[string]bool, len(f))
+		for _, e := range f {
+			keys[e.cand.key()] = true
+		}
+		return keys
+	}
+
+	for round := 1; len(all) < budget; round++ {
+		limit := batch
+		if remaining := budget - len(all); remaining < limit {
+			limit = remaining
+		}
+		props := neighbors(front, axes, visited, limit)
+		if len(props) == 0 {
+			break
+		}
+		if err := evalBatch(fmt.Sprintf("round-%d", round), props); err != nil {
+			return err
+		}
+		prev := frontKeys(front)
+		front = paretoFront(all)
+		r.res.Trajectory = append(r.res.Trajectory, Round{
+			Round: round, Proposed: len(props), Evaluated: len(all), Frontier: len(front),
+		})
+		improved := false
+		for _, e := range front {
+			if !prev[e.cand.key()] {
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Emit the frontier sorted by energy ascending (ties: IPC
+	// descending, then canonical candidate order): the natural reading
+	// order of an energy–IPC trade-off curve.
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.energy != b.energy {
+			return a.energy < b.energy
+		}
+		if a.ipc != b.ipc {
+			return a.ipc > b.ipc
+		}
+		return a.cand.less(b.cand)
+	})
+	// roundOf maps an evaluated candidate back to the round that first
+	// measured it, via evaluation order and the trajectory.
+	order := make(map[string]int, len(all))
+	for i, e := range all {
+		order[e.cand.key()] = i
+	}
+	roundOf := func(e evaluated) int {
+		i := order[e.cand.key()]
+		for _, t := range r.res.Trajectory {
+			if i < t.Evaluated {
+				return t.Round
+			}
+		}
+		return r.res.Trajectory[len(r.res.Trajectory)-1].Round
+	}
+
+	cols := []string{}
+	numeric := []bool{}
+	for _, a := range axes {
+		cols = append(cols, a.name)
+		numeric = append(numeric, true)
+	}
+	cols = append(cols, "config", "ipc_hmean", "iq_energy_pj", "round")
+	numeric = append(numeric, false, true, true, true)
+	r.res.Columns, r.res.numeric = cols, numeric
+	for _, e := range front {
+		row := make([]string, 0, len(cols))
+		for i, a := range axes {
+			row = append(row, strconv.Itoa(a.vals[e.cand[i]]))
+		}
+		row = append(row, e.config, fixed(e.ipc, 4), fixed(e.energy, 1),
+			strconv.Itoa(roundOf(e)))
+		r.res.Rows = append(r.res.Rows, row)
+	}
+	return nil
+}

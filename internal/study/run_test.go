@@ -1,0 +1,266 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distiq/internal/client"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden/*.txt from the current simulator")
+
+// quickLengths mirror sim.QuickOptions: enough cycles for schemes to
+// diverge, fast enough for the golden gate.
+const (
+	quickWarmup = 5_000
+	quickInsts  = 20_000
+)
+
+func ablationSpec() *Spec {
+	pd := true
+	return New("scheme-ablation").Ablation().
+		WithBenchmarks("swim", "gzip").
+		WithVariants(
+			Variant{Name: "small-rob", ROB: 128},
+			Variant{Name: "mb-distr", Scheme: "MB_distr"},
+			Variant{Name: "oracle-disambig", PerfectDisambiguation: &pd},
+		).
+		WithLengths(quickWarmup, quickInsts)
+}
+
+func frontierSpec() *Spec {
+	return New("latfifo-frontier").Frontier().
+		WithBenchmarks("swim").
+		WithSpace(Space{Scheme: "LatFIFO", Queues: []int{2, 4, 8}, Entries: []int{4, 8, 16, 32, 64}}).
+		WithBudget(14).WithBatch(4).
+		WithLengths(quickWarmup, quickInsts)
+}
+
+// checkGolden diffs got against the named fixture, rewriting it under
+// -update-golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/study -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- golden ---\n%s--- current ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenAblationTable pins the ablation variant × metric table
+// byte-for-byte in every emit format.
+func TestGoldenAblationTable(t *testing.T) {
+	res, err := Run(context.Background(), client.NewLocal(), ablationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range Formats {
+		var buf bytes.Buffer
+		if err := res.Emit(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "ablation."+format+".txt", buf.String())
+	}
+}
+
+// TestGoldenFrontierTrajectory pins the adaptive search end to end: the
+// frontier table, the round-by-round trajectory and the total number of
+// evaluated configurations must not drift.
+func TestGoldenFrontierTrajectory(t *testing.T) {
+	res, err := Run(context.Background(), client.NewLocal(), frontierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) == 0 {
+		t.Fatal("frontier study recorded no trajectory")
+	}
+	var buf bytes.Buffer
+	if err := res.Emit(&buf, "md"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "frontier.md.txt", buf.String())
+}
+
+// TestAblationWarmRerun reruns the same study on one warm client: the
+// second pass must simulate nothing and emit byte-identical tables.
+func TestAblationWarmRerun(t *testing.T) {
+	cl := client.NewLocal()
+	cold, err := Run(context.Background(), cl, ablationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Counts.Simulated == 0 {
+		t.Fatal("cold run simulated nothing")
+	}
+	warm, err := Run(context.Background(), cl, ablationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Counts.Simulated != 0 {
+		t.Fatalf("warm rerun simulated %d points, want 0", warm.Counts.Simulated)
+	}
+	for _, format := range Formats {
+		var a, b bytes.Buffer
+		if err := cold.Emit(&a, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Emit(&b, format); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s output differs between cold and warm runs", format)
+		}
+	}
+}
+
+// TestReplicationStableAcrossParallelism runs the same replication study
+// serially and wide: mean/sd/CI columns must match byte-for-byte, and
+// distinct seeds must actually spread the observations (nonzero sd).
+func TestReplicationStableAcrossParallelism(t *testing.T) {
+	spec := New("rep").Replication().
+		WithBenchmarks("swim").
+		WithVariants(Variant{Name: "mb-distr", Scheme: "MB_distr"}).
+		WithReplicates(3).
+		WithLengths(quickWarmup, quickInsts)
+	serial, err := Run(context.Background(), client.NewLocal(client.WithParallel(1)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(context.Background(), client.NewLocal(client.WithParallel(8)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CSV() != wide.CSV() {
+		t.Fatalf("replication table depends on parallelism:\n%s\nvs\n%s", serial.CSV(), wide.CSV())
+	}
+	sawSpread := false
+	sd := colIndex(t, serial.Columns, "ipc_sd")
+	for _, row := range serial.Rows {
+		if row[sd] != "0.0000" {
+			sawSpread = true
+		}
+	}
+	if !sawSpread {
+		t.Fatalf("replication seeds produced identical IPC everywhere:\n%s", serial.CSV())
+	}
+	n := colIndex(t, serial.Columns, "n")
+	for _, row := range serial.Rows {
+		if row[n] != "3" {
+			t.Fatalf("row n = %s, want 3", row[n])
+		}
+	}
+}
+
+// TestFrontierRevisitsResolveFromCache reruns a frontier search on a
+// warm client: every configuration the second search proposes is already
+// in the content-addressed cache, so the engine's Simulated counter must
+// not move while Requested grows.
+func TestFrontierRevisitsResolveFromCache(t *testing.T) {
+	cl := client.NewLocal()
+	if _, err := Run(context.Background(), cl, frontierSpec()); err != nil {
+		t.Fatal(err)
+	}
+	coldStats := cl.Stats()
+	if coldStats.Simulated == 0 {
+		t.Fatal("cold frontier search simulated nothing")
+	}
+	res, err := Run(context.Background(), cl, frontierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := cl.Stats()
+	if warmStats.Simulated != coldStats.Simulated {
+		t.Fatalf("warm frontier search re-simulated %d points",
+			warmStats.Simulated-coldStats.Simulated)
+	}
+	if warmStats.Requested <= coldStats.Requested {
+		t.Fatal("warm frontier search requested nothing")
+	}
+	if res.Counts.Simulated != 0 {
+		t.Fatalf("warm frontier search counted %d simulations", res.Counts.Simulated)
+	}
+}
+
+// TestOnPointOrder checks the streaming hook: plan-ordered sequence
+// numbers, stage labels naming variants, and one update per planned
+// point.
+func TestOnPointOrder(t *testing.T) {
+	spec := ablationSpec()
+	planned, err := spec.PlannedPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []PointUpdate
+	_, err = RunOpts(context.Background(), client.NewLocal(), spec, Options{
+		OnPoint: func(u PointUpdate) { ups = append(ups, u) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != planned {
+		t.Fatalf("saw %d updates, want %d", len(ups), planned)
+	}
+	stages := map[string]bool{}
+	for i, u := range ups {
+		if u.Seq != i {
+			t.Fatalf("update %d carries seq %d", i, u.Seq)
+		}
+		stages[u.Stage] = true
+	}
+	for _, want := range []string{"baseline", "small-rob", "mb-distr", "oracle-disambig"} {
+		if !stages[want] {
+			t.Fatalf("no update for stage %q (saw %v)", want, stages)
+		}
+	}
+}
+
+// TestEmitFormats pins the emit funnel's error path and content types.
+func TestEmitFormats(t *testing.T) {
+	res := &Result{Name: "x", Mode: ModeAblation, Columns: []string{"a"}, Rows: [][]string{{"1"}}, numeric: []bool{true}}
+	if err := res.Emit(&bytes.Buffer{}, "xml"); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("unknown format not rejected: %v", err)
+	}
+	for _, f := range Formats {
+		if _, ok := ContentType(f); !ok {
+			t.Fatalf("no content type for %q", f)
+		}
+		if err := res.Emit(&bytes.Buffer{}, f); err != nil {
+			t.Fatalf("emit %s: %v", f, err)
+		}
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"a": 1`)) {
+		t.Fatalf("numeric cell not emitted as JSON number:\n%s", data)
+	}
+}
+
+func colIndex(t *testing.T, cols []string, name string) int {
+	t.Helper()
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, cols)
+	return -1
+}

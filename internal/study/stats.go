@@ -1,0 +1,84 @@
+package study
+
+import (
+	"math"
+	"strconv"
+)
+
+// fixed renders a float at a fixed precision, normalizing negative zero,
+// so tables are byte-identical wherever they are produced.
+func fixed(v float64, prec int) string {
+	s := strconv.FormatFloat(v, 'f', prec, 64)
+	// "-0.00" and "0.00" are the same number; pick one spelling.
+	if len(s) > 1 && s[0] == '-' {
+		allZero := true
+		for _, c := range s[1:] {
+			if c != '0' && c != '.' {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			s = s[1:]
+		}
+	}
+	return s
+}
+
+// mean returns the arithmetic mean (0 on empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// sampleSD returns the sample standard deviation (n-1 denominator; 0 for
+// fewer than two observations).
+func sampleSD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tCrit95 is the two-sided 95% Student's t critical value by degrees of
+// freedom (1..30); larger samples use the normal approximation.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// ci95 returns the half-width of the two-sided 95% confidence interval
+// of the mean of xs (0 for fewer than two observations).
+func ci95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	t := 1.960
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return t * sampleSD(xs) / math.Sqrt(float64(n))
+}
+
+// deltaPct returns the percent change of v relative to base (0 when the
+// base is zero, to keep tables finite).
+func deltaPct(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}
